@@ -1,0 +1,38 @@
+"""Benchmark-suite configuration.
+
+Scale selection: set ``REPRO_BENCH_SCALE=paper`` to run the evaluation at
+the paper's problem sizes (the numbers recorded in EXPERIMENTS.md);
+the default ``small`` keeps CI fast while preserving every qualitative
+shape that is asserted.
+
+Each benchmark times the *harness* (wall-clock of the simulation) with
+pytest-benchmark and reports the *modeled* quantities (speedups over the
+MathWorks-interpreter model) through ``benchmark.extra_info``, which is
+what reproduces the paper's tables/figures.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.harness import BenchHarness
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers",
+                            "paper_scale: exact paper problem sizes")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def paper_scale(scale):
+    return scale == "paper"
+
+
+@pytest.fixture(scope="session")
+def harness():
+    return BenchHarness()

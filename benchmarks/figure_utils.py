@@ -1,0 +1,56 @@
+"""Shared machinery for the Figure 3-6 speedup benchmarks."""
+
+from repro.bench.calibration import (
+    CLUSTER_PLATEAU_FACTOR,
+    FIG_MEIKO16_BANDS,
+)
+from repro.bench.figures import speedup_figure
+from repro.bench.report import render_speedup_figure
+
+MEIKO = "Meiko CS-2"
+ENTERPRISE = "Sun Enterprise 4000"
+CLUSTER = "SPARCserver-20 cluster"
+
+#: cross-figure record of Meiko-16 speedups (filled as figures run)
+MEIKO16_RESULTS: dict[str, float] = {}
+
+
+def run_speedup_figure(number, workload_key, benchmark, scale, harness):
+    fig = benchmark.pedantic(
+        lambda: speedup_figure(number, scale=scale, harness=harness),
+        rounds=1, iterations=1)
+    text = render_speedup_figure(fig)
+    print()
+    print(text)
+
+    meiko = fig.curves[MEIKO]
+    enterprise = fig.curves[ENTERPRISE]
+    cluster = fig.curves[CLUSTER]
+
+    # universal shape claims (both scales)
+    # 1. compiled parallel code beats the interpreter on every machine at
+    #    its sweet spot (2-4 CPUs at least)
+    assert meiko.at(4) > 1.0
+    assert enterprise.at(4) > 1.0
+    # 2. the Ethernet cluster is damped beyond one 4-CPU SMP
+    assert cluster.at(16) < CLUSTER_PLATEAU_FACTOR * cluster.at(4)
+    # 3. the Meiko "generally achieves greater speedup than the other two"
+    assert meiko.at(16) > cluster.at(16)
+
+    if scale == "paper":
+        # 4. at the paper's problem sizes, speedup grows 1 -> 4 CPUs on
+        #    every machine (grain still dominates communication)
+        for curve in (meiko, enterprise, cluster):
+            assert curve.at(4) > curve.at(1)
+        band = FIG_MEIKO16_BANDS[workload_key]
+        assert band.holds(meiko.at(16)), (
+            f"{workload_key}: Meiko-16 speedup {meiko.at(16):.1f} outside "
+            f"the paper band {band!r}")
+
+    MEIKO16_RESULTS[workload_key] = meiko.at(16)
+    benchmark.extra_info["figure"] = text
+    benchmark.extra_info["meiko16"] = round(meiko.at(16), 2)
+    benchmark.extra_info["speedups"] = {
+        name: [round(s, 2) for s in curve.speedups]
+        for name, curve in fig.curves.items()}
+    return fig

@@ -1,0 +1,42 @@
+"""Figure 2 — relative single-CPU performance of the MathWorks
+interpreter, the MATCOM compiler, and Otter on the four benchmarks.
+
+Shape claims asserted (paper, Section 5):
+* Otter always outperforms the interpreter;
+* Otter vs MATCOM splits 2-2 — Otter wins the elementwise-heavy scripts
+  (ocean engineering, n-body), MATCOM the dense-kernel scripts
+  (conjugate gradient, transitive closure).
+"""
+
+from repro.bench.calibration import FIG2_CLAIMS
+from repro.bench.figures import figure2
+from repro.bench.report import render_figure2
+
+
+def test_figure2(benchmark, scale, harness):
+    fig = benchmark.pedantic(
+        lambda: figure2(scale=scale, harness=harness),
+        rounds=1, iterations=1)
+    text = render_figure2(fig)
+    print()
+    print(text)
+
+    # claim 1: the compiler always beats the interpreter
+    assert fig.otter_beats_interpreter_everywhere()
+    band = FIG2_CLAIMS["otter_over_interp"]
+    for key, result in fig.results.items():
+        assert band.holds(result.relative["otter"]), (key, result.relative)
+
+    # claim 2: the 2-2 split against MATCOM, with the right winners
+    assert fig.split_vs_matcom() == FIG2_CLAIMS["split"]
+    for key in FIG2_CLAIMS["otter_wins"]:
+        rel = fig.results[key].relative
+        assert rel["otter"] > rel["matcom"], key
+    for key in FIG2_CLAIMS["matcom_wins"]:
+        rel = fig.results[key].relative
+        assert rel["matcom"] > rel["otter"], key
+
+    benchmark.extra_info["figure"] = text
+    benchmark.extra_info["relative"] = {
+        k: {s: round(v, 3) for s, v in r.relative.items()}
+        for k, r in fig.results.items()}

@@ -1,0 +1,18 @@
+"""Figure 3 — conjugate-gradient speedup over the MATLAB interpreter.
+
+Paper: "the compiled script executing on 16 CPUs of the [Meiko CS-2]
+executes 50 times faster than the interpreter executing the script on a
+single CPU"; the Ethernet cluster flattens past one SMP's four CPUs.
+"""
+
+from figure_utils import run_speedup_figure
+
+
+def test_figure3_cg(benchmark, scale, harness):
+    fig = run_speedup_figure(3, "cg", benchmark, scale, harness)
+    meiko = fig.curves["Meiko CS-2"]
+    if scale == "paper":
+        # CG scales well: >55% parallel efficiency at 8 Meiko CPUs, and
+        # 16 CPUs still beat 8
+        assert meiko.at(8) > 0.55 * 8 * meiko.at(1)
+        assert meiko.at(16) > meiko.at(8)

@@ -1,0 +1,19 @@
+"""Figure 4 — ocean-engineering (Morrison equation) speedup.
+
+Paper: "The speedup achieved on this application is not as good because
+the size of the data set is relatively small, and most of the operations
+performed have O(n) time complexity ... increasing the overall impact of
+interprocessor communication."
+"""
+
+from figure_utils import MEIKO16_RESULTS, run_speedup_figure
+
+
+def test_figure4_ocean(benchmark, scale, harness):
+    fig = run_speedup_figure(4, "ocean", benchmark, scale, harness)
+    meiko = fig.curves["Meiko CS-2"]
+    # poor scaling: well below linear at 16 CPUs
+    assert meiko.at(16) < 8 * meiko.at(1)
+    # and clearly below conjugate gradient (paper Fig. 3 vs Fig. 4)
+    if "cg" in MEIKO16_RESULTS:
+        assert meiko.at(16) < MEIKO16_RESULTS["cg"]

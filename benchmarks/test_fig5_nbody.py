@@ -1,0 +1,15 @@
+"""Figure 5 — n-body simulation speedup.
+
+Paper: "the preponderance of O(n) operations limits the opportunities
+for speedup through parallel execution."
+"""
+
+from figure_utils import MEIKO16_RESULTS, run_speedup_figure
+
+
+def test_figure5_nbody(benchmark, scale, harness):
+    fig = run_speedup_figure(5, "nbody", benchmark, scale, harness)
+    meiko = fig.curves["Meiko CS-2"]
+    # limited speedup: far below the O(n^3) closure / O(n^2) CG scripts
+    if "cg" in MEIKO16_RESULTS:
+        assert meiko.at(16) < MEIKO16_RESULTS["cg"]

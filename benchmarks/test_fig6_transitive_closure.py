@@ -1,0 +1,23 @@
+"""Figure 6 — transitive-closure speedup.
+
+Paper: "The compiled program executes 78 times faster on 16 nodes of the
+Meiko CS-2 than the interpreted program executes on a single processor"
+— the best of the four applications, because O(n^3) multiplications give
+the largest grain.  This file also checks the cross-figure ordering
+closure > cg > nbody >= ocean at 16 Meiko CPUs.
+"""
+
+from figure_utils import MEIKO16_RESULTS, run_speedup_figure
+
+
+def test_figure6_closure(benchmark, scale, harness):
+    fig = run_speedup_figure(6, "closure", benchmark, scale, harness)
+    meiko = fig.curves["Meiko CS-2"]
+    assert meiko.at(16) > meiko.at(8) > meiko.at(4)
+
+    # cross-figure ordering (paper: 78x > 50x > ~13x >= ~8x)
+    r = MEIKO16_RESULTS
+    if {"cg", "nbody", "ocean"} <= set(r):
+        assert r["closure"] > r["cg"]
+        assert r["cg"] > r["nbody"]
+        assert r["nbody"] >= r["ocean"] * 0.9

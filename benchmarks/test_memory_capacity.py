@@ -1,0 +1,47 @@
+"""Section 7's memory claim — "larger problems can be solved".
+
+"It is infeasible for the MATLAB interpreter to solve problems where the
+aggregate amount of data being manipulated exceeds the primary memory
+capacity of a workstation.  In contrast, a parallel computer may have far
+more primary memory than an individual workstation."
+
+The run-time library tracks each rank's high-water mark of local
+distributed-data bytes.  This benchmark sizes a dense problem that
+overflows a 1997 workstation's 128 MB but fits comfortably when its rows
+are spread over 16 Meiko nodes.
+"""
+
+from repro.bench.workloads import conjugate_gradient
+from repro.compiler import compile_source
+from repro.mpi import MEIKO_CS2, WORKSTATION_MEMORY
+
+# n = 3072: the matrix alone is 3072^2 * 8 B = 75.5 MB; with the compiler's
+# temporaries the single-CPU high-water mark passes the 128 MB workstation.
+N = 3072
+
+
+def test_memory_capacity(benchmark):
+    workload = conjugate_gradient(n=N, iters=2)
+    program = compile_source(workload.source)
+
+    def measure():
+        one = max(program.run(nprocs=1).peak_local_bytes)
+        sixteen = max(program.run(nprocs=16).peak_local_bytes)
+        return one, sixteen
+
+    one, sixteen = benchmark.pedantic(measure, rounds=1, iterations=1)
+    mb = 1024 * 1024
+    print(f"\nn={N}: peak local data  1 CPU: {one / mb:7.1f} MB   "
+          f"16 CPUs: {sixteen / mb:6.1f} MB   "
+          f"(workstation = {WORKSTATION_MEMORY / mb:.0f} MB, "
+          f"CS-2 node = {MEIKO_CS2.memory_per_cpu / mb:.0f} MB)")
+
+    # the single workstation cannot hold the problem...
+    assert one > WORKSTATION_MEMORY
+    # ...but one CS-2 node's share fits with room to spare
+    assert sixteen < MEIKO_CS2.memory_per_cpu / 2
+    # and distribution is doing the work: near-linear memory scaling
+    assert sixteen < one / 8
+
+    benchmark.extra_info["peak_1cpu_mb"] = round(one / mb, 1)
+    benchmark.extra_info["peak_16cpu_mb"] = round(sixteen / mb, 1)

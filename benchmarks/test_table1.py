@@ -1,0 +1,24 @@
+"""Table 1 — survey of MATLAB systems targeting parallel computers.
+
+The table is static data; the benchmark times its regeneration/rendering
+and asserts the paper's headline claim: "Only FALCON and Otter generate
+parallel code from pure MATLAB."
+"""
+
+from repro.bench.figures import table1
+from repro.bench.report import render_table1
+
+
+def test_table1(benchmark):
+    rows = benchmark(lambda: table1())
+    text = render_table1(rows)
+
+    assert len(rows) == 8
+    pure = sorted(r.name for r in rows if r.pure_matlab_parallel)
+    assert pure == ["FALCON", "Otter"]
+    interpreter_based = [r for r in rows if r.implementation == "Interpreter"]
+    assert len(interpreter_based) == 4
+
+    benchmark.extra_info["table"] = text
+    print()
+    print(text)

@@ -1,0 +1,57 @@
+"""A guided tour of the seven compiler passes on one statement.
+
+Shows tokens, the resolved AST decision (index vs call), inferred types,
+the statement-level IR after rewriting/guarding/peephole, and both
+backends' output for the paper's own worked example:
+
+    a = b * c + d(i,j);
+
+Run:  python examples/compiler_tour.py
+"""
+
+from repro import OtterCompiler
+from repro.frontend import tokenize
+
+SCRIPT = """\
+b = rand(64, 64);
+c = rand(64, 64);
+d = rand(64, 64);
+i = 2;
+j = 3;
+a = b * c + d(i,j);
+a(i,j) = a(i,j) / d(j,i);
+disp(sum(sum(a)));
+"""
+
+
+def main() -> None:
+    print("=== pass 1: scanning (excerpt) ===")
+    toks = tokenize("a = b * c + d(i,j);")
+    print("  " + " ".join(t.kind.name for t in toks))
+
+    program = OtterCompiler().compile(SCRIPT, name="tour")
+
+    print("\n=== pass 3: inferred attributes ===")
+    for name, vtype in sorted(program.types.script.var_types.items()):
+        print(f"  {name:3s} : {vtype!r}")
+
+    print("\n=== passes 4-6: statement-level IR ===")
+    print(program.ir_dump())
+
+    print(f"\n(peephole: {program.peephole_stats.transpose_fused} "
+          f"transpose+multiply fusions, "
+          f"{program.peephole_stats.cse_removed} broadcasts CSE'd)")
+
+    print("\n=== pass 7a: generated SPMD C ===")
+    print(program.c_source)
+
+    print("=== pass 7b: generated SPMD Python (executable) ===")
+    print(program.python_source)
+
+    print("=== execution (4 simulated CPUs) ===")
+    result = program.run(nprocs=4)
+    print(result.output.strip())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""1-D heat diffusion: a stencil computation through vector shifts.
+
+Stencils are the communication pattern the paper's ocean script hints at
+(vector shifts): each time step needs every point's neighbours, which the
+run-time library realizes with boundary exchange inside ``circshift``.
+The example shows how the modeled cost breaks down into collectives and
+how the three architectures compare.
+
+Run:  python examples/heat_diffusion.py
+"""
+
+from repro import OtterCompiler
+from repro.mpi import MEIKO_CS2, SPARC20_CLUSTER, SUN_ENTERPRISE
+
+SCRIPT = """\
+% Explicit-Euler heat diffusion on a periodic 1-D rod.
+n = 4000;
+steps = 150;
+x = linspace(0, 2*pi, n);
+u = sin(x) + 0.5 * sin(3 * x);
+alpha = 0.2;
+e0 = sum(u .* u);
+for s = 1:steps
+    left = circshift(u, 1);
+    right = circshift(u, -1);
+    u = u + alpha * (left - 2 * u + right);
+end
+e1 = sum(u .* u);
+fprintf('energy %.6f -> %.6f (decay %.4f)\\n', e0, e1, e1 / e0);
+"""
+
+
+def main() -> None:
+    program = OtterCompiler().compile(SCRIPT, name="heat")
+
+    print("=== physics check (4 CPUs, Meiko model) ===")
+    result = program.run(nprocs=4, machine=MEIKO_CS2)
+    print(result.output.strip())
+    print("collectives used:", dict(result.spmd.collective_counts))
+
+    print("\n=== stencil scaling: 150 steps x 2 shifts/step ===")
+    header = f"{'CPUs':>6s}" + "".join(
+        f"{m.name:>26s}" for m in (MEIKO_CS2, SUN_ENTERPRISE,
+                                   SPARC20_CLUSTER))
+    print(header)
+    print("-" * len(header))
+    base = {}
+    for p in (1, 2, 4, 8, 16):
+        row = [f"{p:6d}"]
+        for machine in (MEIKO_CS2, SUN_ENTERPRISE, SPARC20_CLUSTER):
+            if p > machine.max_cpus:
+                row.append(f"{'-':>26s}")
+                continue
+            elapsed = program.run(nprocs=p, machine=machine).elapsed
+            base.setdefault(machine.name, elapsed)
+            row.append(f"{base[machine.name] / elapsed:25.1f}x")
+        print("".join(row))
+    print("\nEvery step pays two neighbour exchanges: latency-bound on "
+          "the Meiko,\nbus-bound on the SMP, and wire-bound across the "
+          "Ethernet cluster's nodes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Otter — a parallel MATLAB compiler (reproduction of Quinn, Malishevsky,
+Seelam & Zhao, *Preliminary Results from a Parallel MATLAB Compiler*,
+IPPS 1998).
+
+The package translates pure MATLAB scripts into loosely synchronous SPMD
+programs over a message-passing run-time library, and reproduces the
+paper's evaluation on performance models of its three target machines.
+
+Quickstart::
+
+    from repro import OtterCompiler
+    from repro.mpi import MEIKO_CS2
+
+    compiler = OtterCompiler()
+    program = compiler.compile("x = ones(256, 256); disp(sum(sum(x)));")
+    result = program.run(nprocs=8, machine=MEIKO_CS2)
+    print(result.output)          # what the script printed (rank 0)
+    print(result.elapsed)         # modeled parallel execution time
+    print(program.c_source)       # the SPMD C the paper's backend emits
+
+Subpackages
+-----------
+``repro.frontend``   MATLAB scanner/parser/AST (pass 1)
+``repro.analysis``   resolution, SSA, type/shape inference (passes 2-3)
+``repro.ir``         statement-level IR and passes 4-6
+``repro.codegen``    Python and C backends (pass 7)
+``repro.runtime``    the distributed run-time library (ML_* operations)
+``repro.mpi``        simulated MPI substrate with machine models
+``repro.interp``     reference MATLAB interpreter (oracle + baseline)
+``repro.baselines``  the MATCOM-like sequential compiled baseline
+``repro.bench``      workloads and harnesses for every table/figure
+"""
+
+from .compiler import CompiledProgram, OtterCompiler, RunResult, compile_source
+from .errors import (
+    CodegenError,
+    DiagnosticError,
+    InferenceError,
+    LexError,
+    LoweringError,
+    MatlabRuntimeError,
+    MpiError,
+    OtterError,
+    ParseError,
+    ResolutionError,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CompiledProgram",
+    "OtterCompiler",
+    "RunResult",
+    "compile_source",
+    "OtterError", "DiagnosticError", "LexError", "ParseError",
+    "ResolutionError", "InferenceError", "LoweringError", "CodegenError",
+    "MatlabRuntimeError", "MpiError",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Semantic analysis: resolution (pass 2), SSA, type inference (pass 3)."""
+
+from .builtin_sigs import REGISTRY, BuiltinSig, builtin_names, get_sig, is_builtin
+from .cfg import CFG, build_cfg
+from .dominance import DominatorInfo, compute_dominance
+from .infer import (
+    InferenceEngine,
+    ProgramTypes,
+    UnitTypes,
+    binop_result_type,
+    infer_types,
+)
+from .lattice import (
+    BOTTOM,
+    BaseType,
+    Rank,
+    Shape,
+    UNKNOWN,
+    UNKNOWN_SHAPE,
+    SCALAR_SHAPE,
+    VarType,
+    matrix,
+    scalar,
+)
+from .resolve import ResolvedProgram, ResolvedUnit, Resolver, resolve_program
+from .ssa import Phi, SSAInfo, SSAValue, build_ssa
+from .symtab import Symbol, SymbolTable
+
+__all__ = [
+    "REGISTRY", "BuiltinSig", "builtin_names", "get_sig", "is_builtin",
+    "CFG", "build_cfg",
+    "DominatorInfo", "compute_dominance",
+    "InferenceEngine", "ProgramTypes", "UnitTypes", "binop_result_type",
+    "infer_types",
+    "BOTTOM", "BaseType", "Rank", "Shape", "UNKNOWN", "UNKNOWN_SHAPE",
+    "SCALAR_SHAPE", "VarType", "matrix", "scalar",
+    "ResolvedProgram", "ResolvedUnit", "Resolver", "resolve_program",
+    "Phi", "SSAInfo", "SSAValue", "build_ssa",
+    "Symbol", "SymbolTable",
+]

@@ -1,0 +1,99 @@
+"""Dominator tree and dominance frontiers.
+
+Implements the Cooper–Harvey–Kennedy iterative dominator algorithm and the
+Cytron et al. dominance-frontier computation — the frontier drives phi
+placement in :mod:`repro.analysis.ssa`, exactly as the paper's citation [1]
+(Cytron et al. 1991) prescribes.
+"""
+
+from __future__ import annotations
+
+from .cfg import CFG
+
+
+class DominatorInfo:
+    """Immediate dominators, dominator-tree children, dominance frontiers."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self.rpo = cfg.reachable_order()
+        self._rpo_index = {b: i for i, b in enumerate(self.rpo)}
+        self.idom: dict[int, int] = {}
+        self._compute_idoms()
+        self.children: dict[int, list[int]] = {b: [] for b in self.rpo}
+        for block, parent in self.idom.items():
+            if block != self.cfg.entry:
+                self.children[parent].append(block)
+        self.frontier: dict[int, set[int]] = {b: set() for b in self.rpo}
+        self._compute_frontiers()
+
+    # ------------------------------------------------------------------ #
+
+    def _compute_idoms(self) -> None:
+        entry = self.cfg.entry
+        idom: dict[int, int | None] = {b: None for b in self.rpo}
+        idom[entry] = entry
+
+        def intersect(a: int, b: int) -> int:
+            while a != b:
+                while self._rpo_index[a] > self._rpo_index[b]:
+                    a = idom[a]  # type: ignore[assignment]
+                while self._rpo_index[b] > self._rpo_index[a]:
+                    b = idom[b]  # type: ignore[assignment]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for block in self.rpo:
+                if block == entry:
+                    continue
+                preds = [p for p in self.cfg.blocks[block].preds
+                         if idom.get(p) is not None]
+                if not preds:
+                    continue
+                new_idom = preds[0]
+                for pred in preds[1:]:
+                    new_idom = intersect(pred, new_idom)
+                if idom[block] != new_idom:
+                    idom[block] = new_idom
+                    changed = True
+        self.idom = {b: d for b, d in idom.items() if d is not None}
+
+    def _compute_frontiers(self) -> None:
+        for block in self.rpo:
+            preds = [p for p in self.cfg.blocks[block].preds if p in self.idom]
+            if len(preds) < 2:
+                continue
+            for pred in preds:
+                runner = pred
+                while runner != self.idom[block]:
+                    self.frontier[runner].add(block)
+                    runner = self.idom[runner]
+
+    # ------------------------------------------------------------------ #
+
+    def dominates(self, a: int, b: int) -> bool:
+        """True iff block ``a`` dominates block ``b``."""
+        runner = b
+        while True:
+            if runner == a:
+                return True
+            parent = self.idom.get(runner)
+            if parent is None or parent == runner:
+                return a == runner
+            runner = parent
+
+    def dom_tree_preorder(self) -> list[int]:
+        order: list[int] = []
+        stack = [self.cfg.entry]
+        while stack:
+            block = stack.pop()
+            order.append(block)
+            # reversed so children are visited in ascending id order
+            stack.extend(sorted(self.children.get(block, []), reverse=True))
+        return order
+
+
+def compute_dominance(cfg: CFG) -> DominatorInfo:
+    return DominatorInfo(cfg)

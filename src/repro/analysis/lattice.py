@@ -1,0 +1,169 @@
+"""Type / rank / shape lattice for inference (pass 3).
+
+The paper's attribute system, exactly: a variable has one of four *types*
+(``literal``, ``integer``, ``real``, ``complex``), a *rank* (``scalar`` or
+``matrix``), and — for matrices — a *shape* (rows x cols), determined
+statically when possible and propagated at run time otherwise.
+
+We model each attribute as a small lattice and the combined
+:class:`VarType` as their product.  ``BOTTOM`` means "no information yet"
+(used as the dataflow initial value); ``UNKNOWN`` is the lattice top,
+meaning the attribute must be tracked at run time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class BaseType(enum.IntEnum):
+    """Element type; the numeric members form a chain INTEGER<REAL<COMPLEX."""
+
+    BOTTOM = 0
+    LITERAL = 1  # string literal
+    INTEGER = 2
+    REAL = 3
+    COMPLEX = 4
+    UNKNOWN = 5  # top: resolved at run time
+
+    def join(self, other: "BaseType") -> "BaseType":
+        if self == other:
+            return self
+        if self is BaseType.BOTTOM:
+            return other
+        if other is BaseType.BOTTOM:
+            return self
+        numeric = {BaseType.INTEGER, BaseType.REAL, BaseType.COMPLEX}
+        if self in numeric and other in numeric:
+            return BaseType(max(self, other))
+        return BaseType.UNKNOWN
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (BaseType.INTEGER, BaseType.REAL, BaseType.COMPLEX)
+
+
+class Rank(enum.Enum):
+    BOTTOM = "bottom"
+    SCALAR = "scalar"
+    MATRIX = "matrix"
+    UNKNOWN = "unknown"
+
+    def join(self, other: "Rank") -> "Rank":
+        if self == other:
+            return self
+        if self is Rank.BOTTOM:
+            return other
+        if other is Rank.BOTTOM:
+            return self
+        return Rank.UNKNOWN
+
+
+@dataclass(frozen=True)
+class Shape:
+    """Static matrix extents; ``None`` marks a dimension known only at run
+    time.  Scalars conventionally carry ``Shape(1, 1)``."""
+
+    rows: Optional[int] = None
+    cols: Optional[int] = None
+
+    def join(self, other: "Shape") -> "Shape":
+        return Shape(
+            self.rows if self.rows == other.rows else None,
+            self.cols if self.cols == other.cols else None,
+        )
+
+    @property
+    def is_static(self) -> bool:
+        return self.rows is not None and self.cols is not None
+
+    @property
+    def is_vector(self) -> bool:
+        """True when statically known to have a unit dimension."""
+        return self.rows == 1 or self.cols == 1
+
+    def numel(self) -> Optional[int]:
+        if self.is_static:
+            return self.rows * self.cols  # type: ignore[operator]
+        return None
+
+    def transposed(self) -> "Shape":
+        return Shape(self.cols, self.rows)
+
+    def __repr__(self) -> str:
+        fmt = lambda d: "?" if d is None else str(d)  # noqa: E731
+        return f"{fmt(self.rows)}x{fmt(self.cols)}"
+
+
+UNKNOWN_SHAPE = Shape(None, None)
+SCALAR_SHAPE = Shape(1, 1)
+
+
+@dataclass(frozen=True)
+class VarType:
+    """The full inferred attribute triple for one SSA value."""
+
+    base: BaseType = BaseType.BOTTOM
+    rank: Rank = Rank.BOTTOM
+    shape: Shape = UNKNOWN_SHAPE
+
+    @property
+    def is_bottom(self) -> bool:
+        """Undefined-on-this-path marker.  Invariant: such values always
+        carry UNKNOWN_SHAPE (the engine never builds a bottom with a
+        partial shape)."""
+        return self.base is BaseType.BOTTOM and self.rank is Rank.BOTTOM
+
+    def join(self, other: "VarType") -> "VarType":
+        # A fully-bottom value means "undefined on this path" and is the
+        # identity of join — its placeholder shape must not poison the
+        # other side's static shape.
+        if self.is_bottom and other.is_bottom:
+            return BOTTOM
+        if self.is_bottom:
+            return other
+        if other.is_bottom:
+            return self
+        return VarType(
+            self.base.join(other.base),
+            self.rank.join(other.rank),
+            self.shape.join(other.shape),
+        )
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.rank is Rank.SCALAR
+
+    @property
+    def is_matrix(self) -> bool:
+        return self.rank is Rank.MATRIX
+
+    def __repr__(self) -> str:
+        if self.rank is Rank.SCALAR:
+            return f"<{self.base.name.lower()} scalar>"
+        if self.rank is Rank.MATRIX:
+            return f"<{self.base.name.lower()} matrix {self.shape}>"
+        return f"<{self.base.name.lower()} {self.rank.value}>"
+
+
+BOTTOM = VarType()
+UNKNOWN = VarType(BaseType.UNKNOWN, Rank.UNKNOWN, UNKNOWN_SHAPE)
+
+
+def scalar(base: BaseType = BaseType.REAL) -> VarType:
+    return VarType(base, Rank.SCALAR, SCALAR_SHAPE)
+
+
+def matrix(base: BaseType = BaseType.REAL, shape: Shape = UNKNOWN_SHAPE) -> VarType:
+    return VarType(base, Rank.MATRIX, shape)
+
+
+def literal() -> VarType:
+    return VarType(BaseType.LITERAL, Rank.MATRIX, UNKNOWN_SHAPE)
+
+
+INT_SCALAR = scalar(BaseType.INTEGER)
+REAL_SCALAR = scalar(BaseType.REAL)
+COMPLEX_SCALAR = scalar(BaseType.COMPLEX)

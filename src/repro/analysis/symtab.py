@@ -1,0 +1,64 @@
+"""Symbol tables.
+
+One :class:`SymbolTable` per program unit (the script, and each user
+M-file function).  Pass 2 populates the binding kinds; pass 3 fills in the
+inferred :class:`VarType` and any compile-time constant value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .lattice import BOTTOM, VarType
+
+
+@dataclass
+class Symbol:
+    name: str
+    kind: str  # variable | param | retval | loopvar | function | builtin | global
+    vtype: VarType = BOTTOM
+    const: Optional[object] = None  # compile-time constant scalar value
+
+    def __repr__(self) -> str:
+        extra = f" = {self.const!r}" if self.const is not None else ""
+        return f"Symbol({self.name}: {self.kind} {self.vtype!r}{extra})"
+
+
+@dataclass
+class SymbolTable:
+    unit_name: str
+    symbols: dict[str, Symbol] = field(default_factory=dict)
+
+    def define(self, name: str, kind: str) -> Symbol:
+        existing = self.symbols.get(name)
+        if existing is not None:
+            # A name may be defined several ways (e.g. loop var later
+            # reassigned); parameter/return kinds take precedence.
+            priority = {"param": 3, "retval": 3, "global": 2,
+                        "loopvar": 1, "variable": 1}
+            if priority.get(kind, 0) > priority.get(existing.kind, 0):
+                existing.kind = kind
+            return existing
+        sym = Symbol(name, kind)
+        self.symbols[name] = sym
+        return sym
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        return self.symbols.get(name)
+
+    def is_variable(self, name: str) -> bool:
+        sym = self.symbols.get(name)
+        return sym is not None and sym.kind in (
+            "variable", "param", "retval", "loopvar", "global"
+        )
+
+    def variables(self) -> list[Symbol]:
+        return [s for s in self.symbols.values()
+                if s.kind in ("variable", "param", "retval", "loopvar", "global")]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.symbols
+
+    def __iter__(self):
+        return iter(self.symbols.values())

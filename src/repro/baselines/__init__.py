@@ -1,0 +1,5 @@
+"""Baseline systems the paper compares against."""
+
+from .matcom import DEFAULT_MATCOM, MatcomModel, matcom_time, run_matcom
+
+__all__ = ["DEFAULT_MATCOM", "MatcomModel", "matcom_time", "run_matcom"]

@@ -1,0 +1,50 @@
+"""Benchmark workloads and harnesses for every table and figure in the
+paper's evaluation (see DESIGN.md for the experiment index)."""
+
+from .calibration import (
+    CLUSTER_PLATEAU_FACTOR,
+    FIG2_CLAIMS,
+    FIG_MEIKO16_BANDS,
+    MEIKO16_ORDERING,
+    Band,
+)
+from .figures import (
+    Figure2,
+    SpeedupFigure,
+    SystemRow,
+    TABLE1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    speedup_figure,
+    table1,
+)
+from .harness import BenchHarness, SingleCpuResult, SpeedupCurve
+from .report import render_figure2, render_speedup_figure, render_table1
+from .workloads import (
+    ALL_KEYS,
+    PAPER_SCALE,
+    SMALL_SCALE,
+    Workload,
+    all_workloads,
+    conjugate_gradient,
+    make_workload,
+    nbody,
+    ocean_engineering,
+    transitive_closure,
+)
+
+__all__ = [
+    "Band", "FIG2_CLAIMS", "FIG_MEIKO16_BANDS", "MEIKO16_ORDERING",
+    "CLUSTER_PLATEAU_FACTOR",
+    "Figure2", "SpeedupFigure", "SystemRow", "TABLE1",
+    "figure2", "figure3", "figure4", "figure5", "figure6",
+    "speedup_figure", "table1",
+    "BenchHarness", "SingleCpuResult", "SpeedupCurve",
+    "render_figure2", "render_speedup_figure", "render_table1",
+    "ALL_KEYS", "PAPER_SCALE", "SMALL_SCALE", "Workload", "all_workloads",
+    "conjugate_gradient", "make_workload", "nbody", "ocean_engineering",
+    "transitive_closure",
+]

@@ -1,0 +1,56 @@
+"""ASCII renderers for the regenerated tables and figures."""
+
+from __future__ import annotations
+
+from .figures import Figure2, SpeedupFigure, SystemRow
+from .workloads import _FACTORIES
+
+
+def render_table1(rows: tuple[SystemRow, ...]) -> str:
+    out = ["Table 1. MATLAB systems targeting parallel computers",
+           f"{'Name':18s} {'Site':34s} {'Implementation':24s} "
+           f"{'Pure-MATLAB parallel':s}"]
+    out.append("-" * 98)
+    for row in rows:
+        mark = "yes" if row.pure_matlab_parallel else "no"
+        out.append(f"{row.name:18s} {row.site:34s} "
+                   f"{row.implementation:24s} {mark}")
+    return "\n".join(out)
+
+
+def render_figure2(fig: Figure2) -> str:
+    out = ["Figure 2. Relative single-CPU performance "
+           f"(scale={fig.scale}; interpreter = 1.0)",
+           f"{'Benchmark':22s} {'Interpreter':>12s} {'MATCOM':>9s} "
+           f"{'Otter':>9s}"]
+    out.append("-" * 56)
+    for key, res in fig.results.items():
+        rel = res.relative
+        title = _FACTORIES[key].__name__.replace("_", " ")
+        out.append(f"{title:22s} {rel['interpreter']:12.2f} "
+                   f"{rel['matcom']:9.2f} {rel['otter']:9.2f}")
+    otter_w, matcom_w = fig.split_vs_matcom()
+    out.append(f"(Otter wins {otter_w}, MATCOM wins {matcom_w}; "
+               "paper reports a 2-2 split)")
+    return "\n".join(out)
+
+
+def render_speedup_figure(fig: SpeedupFigure) -> str:
+    title = {3: "conjugate gradient", 4: "ocean engineering",
+             5: "n-body simulation", 6: "transitive closure"}[fig.number]
+    out = [f"Figure {fig.number}. Speedup of compiled {title} over the "
+           f"MATLAB interpreter on one CPU (scale={fig.scale})"]
+    all_ps = sorted({p for c in fig.curves.values() for p in c.nprocs})
+    header = f"{'CPUs':>6s}" + "".join(f"{name:>26s}"
+                                       for name in fig.curves)
+    out.append(header)
+    out.append("-" * len(header))
+    for p in all_ps:
+        row = [f"{p:6d}"]
+        for curve in fig.curves.values():
+            if p in curve.nprocs:
+                row.append(f"{curve.at(p):25.1f}x")
+            else:
+                row.append(f"{'-':>26s}")
+        out.append("".join(row))
+    return "\n".join(out)

@@ -1,0 +1,254 @@
+"""The paper's four benchmark applications, as pure MATLAB scripts.
+
+Section 5 of the paper:
+
+1. **Conjugate gradient** — solves a positive-definite system of 2048
+   linear equations; "makes extensive use of matrix-vector multiplication
+   and vector dot product".
+2. **Ocean engineering** — evaluates the nonlinear wave excitation force
+   on a submerged sphere using the Morrison equation; "requires vector
+   shifts, outer products, and calls to the built-in function trapz2".
+   (The original field problem and data are not available; this is a
+   synthetic Morrison-equation kernel exercising the same operations —
+   see DESIGN.md.)
+3. **N-body** — 5 000 particles; "uses the built-in function mean [and]
+   exercises the run-time library's broadcast function".  O(n) ops per
+   step (a mean-field approximation), as the paper's speedup discussion
+   requires.
+4. **Transitive closure** — of an n x n adjacency matrix "through log n
+   matrix multiplications"; O(n^3) work dominated by ML_matrix_multiply.
+
+Each workload is parameterized by a scale so tests can run small while
+the benchmark harness reproduces the paper-size runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..frontend.mfile import DictProvider, MFileProvider
+
+
+@dataclass(frozen=True)
+class Workload:
+    key: str
+    title: str
+    source: str
+    provider: Optional[MFileProvider] = None
+    seed: int = 0
+
+    def __repr__(self) -> str:
+        return f"Workload({self.key})"
+
+
+# --------------------------------------------------------------------------
+# 1. conjugate gradient
+# --------------------------------------------------------------------------
+
+
+def conjugate_gradient(n: int = 2048, iters: int = 30) -> Workload:
+    """CG on a positive-definite n x n system (fixed iteration count so
+    every system measures identical work)."""
+    source = f"""\
+% Conjugate gradient solver for a positive definite system (n = {n}).
+n = {n};
+iters = {iters};
+rand('seed', 17);
+A = rand(n, n) + n * eye(n);      % strictly diagonally dominant
+xtrue = ones(n, 1);
+b = A * xtrue;
+x = zeros(n, 1);
+r = b - A * x;
+p = r;
+rsold = r' * r;
+for i = 1:iters
+    Ap = A * p;
+    alpha = rsold / (p' * Ap);
+    x = x + alpha * p;
+    r = r - alpha * Ap;
+    rsnew = r' * r;
+    p = r + (rsnew / rsold) * p;
+    rsold = rsnew;
+end
+resid = sqrt(rsold);
+err = max(abs(x - xtrue));
+fprintf('cg: n=%d resid=%.3e err=%.3e\\n', n, resid, err);
+"""
+    return Workload("cg", "Conjugate Gradient", source)
+
+
+# --------------------------------------------------------------------------
+# 2. ocean engineering (Morrison equation, submerged sphere)
+# --------------------------------------------------------------------------
+
+
+def ocean_engineering(nt: int = 512, nz: int = 128,
+                      nfreq: int = 8) -> Workload:
+    """Nonlinear wave force on a submerged sphere via the Morrison
+    equation: vector shifts, outer products, trapz2 — small data,
+    O(n) operations (hence the paper's poor speedup)."""
+    source = f"""\
+% Morrison-equation wave excitation force on a submerged sphere.
+nt = {nt};
+nz = {nz};
+nfreq = {nfreq};
+g = 9.81;
+rho = 1025.0;
+Cd = 1.0;
+Cm = 2.0;
+D = 1.2;
+H = 2.5;
+span = 12.0;
+Asec = pi * D^2 / 4;
+Vol = pi * D^3 / 6;
+total = 0.0;
+peak = 0.0;
+for fi = 1:nfreq
+    T = 6.0 + fi;
+    om = 2*pi / T;
+    k = om^2 / g;                        % deep-water dispersion
+    t = linspace(0, T, nt);
+    zrel = linspace(0, span, nz);
+    decay = exp(-k * zrel');             % nz x 1 depth attenuation
+    ut = cos(om * t);                    % 1 x nt time profile
+    dt = T / (nt - 1);
+    up = circshift(ut, -1);              % vector shifts for the
+    um = circshift(ut, 1);               % centred time derivative
+    at = (up - um) / (2 * dt);
+    u = (H * om / 2) * decay * ut;       % outer product: nz x nt
+    a = (H * om / 2) * decay * at;       % outer product: nz x nt
+    drag = 0.5 * rho * Cd * Asec * (u .* abs(u));
+    inertia = rho * Cm * Vol * a;
+    f = drag + inertia;
+    impulse = trapz2(f, span / (nz - 1), dt);
+    fmax = max(max(abs(f)));
+    total = total + impulse;
+    if fmax > peak
+        peak = fmax;
+    end
+end
+fprintf('ocean: total=%.6e peak=%.6e\\n', total, peak);
+"""
+    return Workload("ocean", "Ocean Engineering", source)
+
+
+# --------------------------------------------------------------------------
+# 3. n-body simulation
+# --------------------------------------------------------------------------
+
+
+def nbody(n: int = 5000, steps: int = 25) -> Workload:
+    """Mean-field n-body step (O(n) per step) using ``mean`` and tracked
+    samples that exercise ML_broadcast and the owner-guarded store."""
+    source = f"""\
+% Mean-field n-body simulation, {n} particles.
+n = {n};
+steps = {steps};
+rand('seed', 23);
+x = rand(n, 1);
+y = rand(n, 1);
+z = rand(n, 1);
+vx = zeros(n, 1);
+vy = zeros(n, 1);
+vz = zeros(n, 1);
+G = 0.5;
+dt = 0.005;
+soft = 0.05;
+mu = 0.01;
+trace = zeros(1, steps);
+for s = 1:steps
+    cx = mean(x);
+    cy = mean(y);
+    cz = mean(z);
+    dx = cx - x;
+    dy = cy - y;
+    dz = cz - z;
+    r2 = dx .* dx + dy .* dy + dz .* dz + soft;
+    r = sqrt(r2);
+    rinv3 = 1.0 ./ (r2 .* r);
+    % mean-field gravity with a short-range softening correction and
+    % a weak velocity-dependent drag (dynamical friction)
+    corr = 1.0 + soft ./ r2 + (soft * soft) ./ (r2 .* r2);
+    ax = G * dx .* rinv3 .* corr - mu * vx .* abs(vx);
+    ay = G * dy .* rinv3 .* corr - mu * vy .* abs(vy);
+    az = G * dz .* rinv3 .* corr - mu * vz .* abs(vz);
+    vx = vx + dt * ax;
+    vy = vy + dt * ay;
+    vz = vz + dt * az;
+    x = x + dt * vx;
+    y = y + dt * vy;
+    z = z + dt * vz;
+    trace(s) = x(1);                 % ML_broadcast + owner-guarded store
+end
+ke = sum(vx .* vx + vy .* vy + vz .* vz) / 2;
+fprintf('nbody: ke=%.6e cx=%.6f trace=%.6f\\n', ke, mean(x), trace(steps));
+"""
+    return Workload("nbody", "N-body Problem", source)
+
+
+# --------------------------------------------------------------------------
+# 4. transitive closure
+# --------------------------------------------------------------------------
+
+
+def transitive_closure(n: int = 512, avg_degree: float = 3.0) -> Workload:
+    """Boolean closure through ceil(log2 n) matrix multiplications —
+    the paper's O(n^3) stress test for ML_matrix_multiply."""
+    rounds = max(int(math.ceil(math.log2(max(n, 2)))), 1)
+    source = f"""\
+% Transitive closure of an n x n adjacency matrix by repeated squaring.
+n = {n};
+rounds = {rounds};
+rand('seed', 29);
+A = rand(n, n) < {avg_degree} / n;    % random digraph, avg degree {avg_degree}
+R = (A + eye(n)) > 0;
+for k = 1:rounds
+    R = R * R;                        % O(n^3) matrix multiplication
+    R = R > 0;
+end
+reach = sum(sum(R));
+fprintf('closure: n=%d reachable=%d\\n', n, reach);
+"""
+    return Workload("closure", "Transitive Closure", source)
+
+
+# --------------------------------------------------------------------------
+# scales
+# --------------------------------------------------------------------------
+
+#: the sizes the paper used (Section 5)
+PAPER_SCALE = {
+    "cg": dict(n=2048, iters=30),
+    "ocean": dict(nt=384, nz=64, nfreq=8),
+    "nbody": dict(n=5000, steps=25),
+    "closure": dict(n=512),
+}
+
+#: fast sizes for CI / default benchmark runs (same shapes, smaller grain)
+SMALL_SCALE = {
+    "cg": dict(n=512, iters=12),
+    "ocean": dict(nt=192, nz=64, nfreq=3),
+    "nbody": dict(n=1200, steps=8),
+    "closure": dict(n=160),
+}
+
+_FACTORIES = {
+    "cg": conjugate_gradient,
+    "ocean": ocean_engineering,
+    "nbody": nbody,
+    "closure": transitive_closure,
+}
+
+ALL_KEYS = tuple(_FACTORIES)
+
+
+def make_workload(key: str, scale: str = "paper") -> Workload:
+    """Instantiate one of the four benchmarks at 'paper' or 'small' scale."""
+    params = (PAPER_SCALE if scale == "paper" else SMALL_SCALE)[key]
+    return _FACTORIES[key](**params)
+
+
+def all_workloads(scale: str = "paper") -> list[Workload]:
+    return [make_workload(key, scale) for key in ALL_KEYS]

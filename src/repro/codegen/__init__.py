@@ -1,0 +1,5 @@
+"""Code emission backends (pass 7): executable SPMD Python and SPMD C."""
+
+from .py_emitter import PyEmitter, emit_python
+
+__all__ = ["PyEmitter", "emit_python"]

@@ -1,0 +1,126 @@
+"""Elementwise kernels referenced by generated Python code.
+
+Generated fused loops are ``rt.ew(lambda _v0, _v1: K.add(...), ...)``;
+every function here is polymorphic over numpy arrays *and* Python scalars
+(the replicated-scalar case) and reproduces MATLAB numeric semantics:
+division by zero yields Inf, negative bases with fractional exponents go
+complex, comparisons and logicals produce 0.0/1.0 doubles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..interp.builtins import _EW_FUNCS
+
+
+def _num(x):
+    return np.asarray(x)
+
+
+def add(a, b):
+    return a + b
+
+
+def sub(a, b):
+    return a - b
+
+
+def mul(a, b):
+    return a * b
+
+
+def div(a, b):
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.divide(a, b)
+
+
+def ldiv(a, b):
+    """a .\\ b (left elementwise division)."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.divide(b, a)
+
+
+def pow_(a, b):
+    aa, bb = _num(a), _num(b)
+    if (not np.iscomplexobj(aa) and not np.iscomplexobj(bb)
+            and np.any((aa < 0) & (bb != np.floor(bb)))):
+        aa = aa.astype(complex)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return aa ** bb
+
+
+def neg(a):
+    return -a
+
+
+def pos(a):
+    return +a
+
+
+def _realpart(x):
+    return np.real(x) if np.iscomplexobj(_num(x)) else x
+
+
+def eq(a, b):
+    return np.equal(a, b) * 1.0
+
+
+def ne(a, b):
+    return np.not_equal(a, b) * 1.0
+
+
+def lt(a, b):
+    return np.less(_realpart(a), _realpart(b)) * 1.0
+
+
+def gt(a, b):
+    return np.greater(_realpart(a), _realpart(b)) * 1.0
+
+
+def le(a, b):
+    return np.less_equal(_realpart(a), _realpart(b)) * 1.0
+
+
+def ge(a, b):
+    return np.greater_equal(_realpart(a), _realpart(b)) * 1.0
+
+
+def land(a, b):
+    return (np.not_equal(a, 0) & np.not_equal(b, 0)) * 1.0
+
+
+def lor(a, b):
+    return (np.not_equal(a, 0) | np.not_equal(b, 0)) * 1.0
+
+
+def lnot(a):
+    return np.equal(a, 0) * 1.0
+
+
+def idx(value) -> int:
+    """Convert a 1-based MATLAB subscript value to a Python int."""
+    v = np.real(np.asarray(value)).reshape(-1)
+    if v.size != 1:
+        raise ValueError("subscript must be a scalar")
+    f = float(v[0])
+    r = round(f)
+    if abs(f - r) > 1e-9:
+        raise ValueError("subscripts must be integers")
+    return int(r)
+
+
+#: unary/binary named kernels (sqrt, sin, mod, ...) reused from the
+#: interpreter so compiled and interpreted results agree exactly
+FUNCS = dict(_EW_FUNCS)
+FUNCS.update({
+    "mod": lambda a, b: np.mod(a, b),
+    "rem": lambda a, b: np.fmod(a, b),
+    "atan2": np.arctan2,
+    "hypot": np.hypot,
+    "power": pow_,
+})
+
+
+def fn(name: str):
+    return FUNCS[name]

@@ -1,0 +1,170 @@
+"""The Otter compiler driver — all seven passes.
+
+1. scan/parse (``repro.frontend``)
+2. identifier resolution (``repro.analysis.resolve``)
+3. type/rank/shape inference on SSA form (``repro.analysis.infer``)
+4. expression rewriting to statement-level IR (``repro.ir.lower``)
+5. guarding of scalar element stores (``repro.ir.guard``)
+6. peephole optimization of run-time-call sequences (``repro.ir.peephole``)
+7. code emission — SPMD Python (executable, :mod:`repro.codegen.py_emitter`)
+   and SPMD C with ML_* run-time calls (:mod:`repro.codegen.c_emitter`)
+
+Typical use::
+
+    from repro import OtterCompiler
+    from repro.mpi import MEIKO_CS2
+
+    program = OtterCompiler().compile("x = ones(4, 4) * 3; disp(sum(x));")
+    result = program.run(nprocs=8, machine=MEIKO_CS2)
+    print(result.output, result.elapsed)
+"""
+
+from __future__ import annotations
+
+import types as _types
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .analysis.infer import ProgramTypes, infer_types
+from .analysis.resolve import ResolvedProgram, resolve_program
+from .frontend.mfile import EMPTY_PROVIDER, MFileProvider
+from .frontend.parser import parse_script
+from .ir.guard import guard_program
+from .ir.lower import lower_program
+from .ir.nodes import IRProgram
+from .ir.licm import LicmStats, licm_program
+from .ir.peephole import PeepholeStats, peephole_program
+from .ir.pretty import pretty_ir
+from .mpi.executor import SpmdResult, run_spmd
+from .mpi.machine import MachineModel
+from .runtime.context import RuntimeContext
+
+
+@dataclass
+class RunResult:
+    """Outcome of executing a compiled program."""
+
+    workspace: dict[str, Any]
+    output: str
+    elapsed: float                # virtual seconds (slowest rank)
+    spmd: SpmdResult
+    #: per-rank high-water mark of local distributed-data bytes
+    peak_local_bytes: list[int] = field(default_factory=list)
+
+    @property
+    def nprocs(self) -> int:
+        return self.spmd.nprocs
+
+
+@dataclass
+class CompiledProgram:
+    """A fully compiled MATLAB program."""
+
+    name: str
+    resolved: ResolvedProgram
+    types: ProgramTypes
+    ir: IRProgram
+    python_source: str
+    peephole_stats: PeepholeStats
+    licm_stats: LicmStats
+    provider: MFileProvider
+    _module: Optional[_types.ModuleType] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def c_source(self) -> str:
+        """SPMD C with run-time library calls (textual backend)."""
+        from .codegen.c_emitter import emit_c
+
+        return emit_c(self.ir)
+
+    def ir_dump(self) -> str:
+        return pretty_ir(self.ir)
+
+    # ------------------------------------------------------------------ #
+
+    def _load_module(self) -> _types.ModuleType:
+        if self._module is None:
+            module = _types.ModuleType(f"otter_generated_{self.name}")
+            exec(compile(self.python_source,
+                         f"<otter:{self.name}>", "exec"), module.__dict__)
+            self._module = module
+        return self._module
+
+    def run(self, nprocs: int = 1, machine: MachineModel | None = None,
+            seed: int = 0, scheme: str = "block",
+            cache_gathers: bool = False) -> RunResult:
+        """Execute on ``nprocs`` simulated ranks of ``machine``."""
+        from .mpi.machine import MEIKO_CS2
+
+        machine = machine or MEIKO_CS2
+        main = self._load_module().main
+        output: list[str] = []
+        provider = self.provider
+
+        peaks: dict[int, int] = {}
+
+        def rank_main(comm):
+            rt = RuntimeContext(comm, out=output.append, seed=seed,
+                                scheme=scheme, provider=provider,
+                                cache_gathers=cache_gathers)
+            workspace = main(rt)
+            peaks[comm.rank] = rt.peak_local_bytes
+            program_time = comm.time
+            # Replicate the final workspace (gathers run on every rank, in
+            # the same deterministic order) so callers see plain values.
+            # This is *instrumentation* — roll its cost back off the
+            # virtual clock so `elapsed` measures only the program.
+            replicated = {name: rt.to_interp_value(value)
+                          for name, value in workspace.items()}
+            comm.world.clocks[comm.rank] = program_time
+            return replicated
+
+        spmd = run_spmd(nprocs, machine, rank_main)
+        workspace = spmd.results[0] or {}
+        # drop never-assigned variables for a clean workspace view
+        workspace = {k: v for k, v in workspace.items() if v is not None}
+        return RunResult(workspace=workspace, output="".join(output),
+                         elapsed=spmd.elapsed, spmd=spmd,
+                         peak_local_bytes=[peaks.get(r, 0)
+                                           for r in range(nprocs)])
+
+
+class OtterCompiler:
+    """Front door: compile MATLAB source through all seven passes."""
+
+    def __init__(self, provider: MFileProvider | None = None,
+                 peephole: bool = True, licm: bool = True):
+        self.provider = provider or EMPTY_PROVIDER
+        self.peephole = peephole
+        self.licm = licm
+
+    def compile(self, source: str, name: str = "script") -> CompiledProgram:
+        script = parse_script(source, name)                       # pass 1
+        resolved = resolve_program(script, self.provider)         # pass 2
+        types = infer_types(resolved)                             # pass 3
+        ir = lower_program(resolved, types)                       # pass 4
+        guard_program(ir)                                         # pass 5
+        stats = peephole_program(ir, enabled=self.peephole)       # pass 6
+        licm_stats = licm_program(ir, enabled=self.licm)          # pass 6b
+        from .codegen.py_emitter import emit_python               # pass 7
+
+        py_source = emit_python(ir)
+        return CompiledProgram(
+            name=name,
+            resolved=resolved,
+            types=types,
+            ir=ir,
+            python_source=py_source,
+            peephole_stats=stats,
+            licm_stats=licm_stats,
+            provider=self.provider,
+        )
+
+
+def compile_source(source: str, provider: MFileProvider | None = None,
+                   peephole: bool = True, licm: bool = True,
+                   name: str = "script") -> CompiledProgram:
+    """Convenience one-shot compile."""
+    return OtterCompiler(provider, peephole, licm).compile(source, name)

@@ -1,0 +1,85 @@
+"""Exception hierarchy for the Otter reproduction.
+
+Every subsystem raises a subclass of :class:`OtterError` so callers can
+distinguish user-program problems (syntax, type, runtime) from internal
+invariant violations.
+"""
+
+from __future__ import annotations
+
+
+class OtterError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SourceLocation:
+    """A (file, line, column) triple attached to diagnostics.
+
+    ``line`` and ``col`` are 1-based, matching editor conventions and the
+    MATLAB interpreter's own error messages.
+    """
+
+    __slots__ = ("filename", "line", "col")
+
+    def __init__(self, filename: str = "<script>", line: int = 0, col: int = 0):
+        self.filename = filename
+        self.line = line
+        self.col = col
+
+    def __repr__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.col}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SourceLocation)
+            and (self.filename, self.line, self.col)
+            == (other.filename, other.line, other.col)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.filename, self.line, self.col))
+
+
+class DiagnosticError(OtterError):
+    """An error with an attached source location."""
+
+    def __init__(self, message: str, loc: SourceLocation | None = None):
+        self.loc = loc or SourceLocation()
+        super().__init__(f"{self.loc}: {message}")
+        self.message = message
+
+
+class LexError(DiagnosticError):
+    """Raised by the scanner on malformed input."""
+
+
+class ParseError(DiagnosticError):
+    """Raised by the parser on a syntax error."""
+
+
+class ResolutionError(DiagnosticError):
+    """Raised during identifier resolution (pass 2)."""
+
+
+class InferenceError(DiagnosticError):
+    """Raised during type/shape/rank inference (pass 3)."""
+
+
+class LoweringError(DiagnosticError):
+    """Raised during expression rewriting / IR construction (passes 4-6)."""
+
+
+class CodegenError(DiagnosticError):
+    """Raised by a backend (pass 7)."""
+
+
+class MatlabRuntimeError(OtterError):
+    """Raised when executing MATLAB semantics (interpreter or runtime lib)."""
+
+
+class MpiError(OtterError):
+    """Raised by the simulated MPI layer on protocol misuse."""
+
+
+class DistributionError(OtterError):
+    """Raised by the data-distribution machinery on invalid layouts."""

@@ -1,0 +1,288 @@
+"""Abstract syntax tree for the MATLAB subset.
+
+Nodes are plain dataclasses carrying a :class:`SourceLocation`.  One design
+point mirrors the paper directly: MATLAB's grammar cannot distinguish
+``x(3)`` as *indexing* from ``x(3)`` as a *function call* — that is the job
+of the identifier-resolution pass (pass 2).  We therefore parse both into a
+single :class:`Apply` node whose ``resolved`` field is filled in later with
+``"index"``, ``"call"`` or ``"builtin"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..errors import SourceLocation
+
+
+@dataclass
+class Node:
+    loc: SourceLocation = field(default_factory=SourceLocation, repr=False, compare=False)
+
+    def children(self) -> Iterator["Node"]:
+        """Yield direct child nodes (used by generic tree walks)."""
+        for name in self.__dataclass_fields__:
+            if name == "loc":
+                continue
+            value = getattr(self, name)
+            if isinstance(value, Node):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Node):
+                        yield item
+                    elif isinstance(item, (list, tuple)):
+                        for sub in item:
+                            if isinstance(sub, Node):
+                                yield sub
+
+
+def walk(node: Node) -> Iterator[Node]:
+    """Pre-order traversal of ``node`` and all descendants."""
+    yield node
+    for child in node.children():
+        yield from walk(child)
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class Num(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class ImagNum(Expr):
+    value: float = 0.0  # the imaginary part: `3i` -> ImagNum(3.0)
+
+
+@dataclass
+class Str(Expr):
+    value: str = ""
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+
+@dataclass
+class BinOp(Expr):
+    op: str = "+"
+    lhs: Expr = None  # type: ignore[assignment]
+    rhs: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str = "-"
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Transpose(Expr):
+    operand: Expr = None  # type: ignore[assignment]
+    conjugate: bool = True  # `'` conjugates, `.'` does not
+
+
+@dataclass
+class Range(Expr):
+    start: Expr = None  # type: ignore[assignment]
+    stop: Expr = None  # type: ignore[assignment]
+    step: Optional[Expr] = None  # None means step 1
+
+
+@dataclass
+class Colon(Expr):
+    """A bare ``:`` used as a whole-dimension subscript."""
+
+
+@dataclass
+class EndRef(Expr):
+    """``end`` used inside a subscript; resolves to the dimension extent.
+
+    Identifier resolution fills in which variable and axis it refers to:
+    ``var`` is the indexed variable's name, ``axis`` the 0-based subscript
+    position, and ``nargs`` the total subscript count (1 for linear
+    indexing, where ``end`` means ``numel(var)``).
+    """
+
+    var: str = ""
+    axis: int = 0
+    nargs: int = 0
+
+
+@dataclass
+class MatrixLit(Expr):
+    rows: list[list[Expr]] = field(default_factory=list)
+
+
+@dataclass
+class Apply(Expr):
+    """``name(arg, ...)`` — indexing or call, disambiguated in pass 2.
+
+    ``resolved`` is one of ``None`` (not yet resolved), ``"index"``,
+    ``"call"`` (user M-file function) or ``"builtin"``.
+    """
+
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+    resolved: Optional[str] = None
+
+
+# --------------------------------------------------------------------------
+# L-values
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class LValue(Node):
+    name: str = ""
+
+
+@dataclass
+class NameLValue(LValue):
+    pass
+
+
+@dataclass
+class IndexLValue(LValue):
+    args: list[Expr] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Assign(Stmt):
+    target: LValue = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+    display: bool = False  # true when *not* suppressed by `;`
+
+
+@dataclass
+class MultiAssign(Stmt):
+    """``[a, b] = f(...)`` — multiple return values from one call."""
+
+    targets: list[LValue] = field(default_factory=list)
+    call: Apply = None  # type: ignore[assignment]
+    display: bool = False
+
+
+@dataclass
+class ExprStmt(Stmt):
+    value: Expr = None  # type: ignore[assignment]
+    display: bool = False
+
+
+@dataclass
+class If(Stmt):
+    # branches[i] = (condition, body); `else` body in orelse (may be empty)
+    branches: list[tuple[Expr, list[Stmt]]] = field(default_factory=list)
+    orelse: list[Stmt] = field(default_factory=list)
+
+    def children(self) -> Iterator[Node]:
+        for cond, body in self.branches:
+            yield cond
+            yield from body
+        yield from self.orelse
+
+
+@dataclass
+class For(Stmt):
+    var: str = ""
+    iterable: Expr = None  # type: ignore[assignment]
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Switch(Stmt):
+    subject: Expr = None  # type: ignore[assignment]
+    # cases[i] = (list of match expressions, body)
+    cases: list[tuple[list[Expr], list[Stmt]]] = field(default_factory=list)
+    otherwise: list[Stmt] = field(default_factory=list)
+
+    def children(self) -> Iterator[Node]:
+        yield self.subject
+        for values, body in self.cases:
+            yield from values
+            yield from body
+        yield from self.otherwise
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Return(Stmt):
+    pass
+
+
+@dataclass
+class Global(Stmt):
+    names: list[str] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------
+# Program units
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class FunctionDef(Node):
+    """One ``function`` definition from an M-file."""
+
+    name: str = ""
+    params: list[str] = field(default_factory=list)
+    returns: list[str] = field(default_factory=list)
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Script(Node):
+    """A script M-file: statements with no parameters or return values."""
+
+    name: str = "script"
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Program(Node):
+    """A whole MATLAB program: the initial script plus every user M-file
+    function reachable from it (attached by identifier resolution)."""
+
+    script: Script = None  # type: ignore[assignment]
+    functions: dict[str, FunctionDef] = field(default_factory=dict)
+
+    def children(self) -> Iterator[Node]:
+        yield self.script
+        yield from self.functions.values()

@@ -1,0 +1,242 @@
+"""Hand-written MATLAB scanner.
+
+The original Otter used ``lex``; we implement the equivalent scanner from
+scratch.  The classic MATLAB lexing subtleties handled here:
+
+* ``'`` is *transpose* when it immediately follows a value-producing token
+  (identifier, number, ``)``, ``]``, ``}`` or another transpose) and a
+  *string delimiter* otherwise.  Inside strings, ``''`` is an escaped quote.
+* ``%`` starts a comment running to end of line.
+* ``...`` is a line continuation: the rest of the line (a comment, usually)
+  and the newline are discarded.
+* Numbers accept ``3``, ``3.``, ``.5``, ``3.5e-2`` and an ``i``/``j`` suffix
+  marking an imaginary literal.
+* Newlines are significant (they terminate statements) and are emitted as
+  :data:`TokenKind.NEWLINE` tokens.
+"""
+
+from __future__ import annotations
+
+from ..errors import LexError, SourceLocation
+from .tokens import KEYWORDS, Token, TokenKind
+
+# Tokens after which a quote means transpose rather than a string literal.
+_TRANSPOSE_CONTEXT = {
+    TokenKind.IDENT,
+    TokenKind.NUMBER,
+    TokenKind.IMAG_NUMBER,
+    TokenKind.RPAREN,
+    TokenKind.RBRACKET,
+    TokenKind.RBRACE,
+    TokenKind.TRANSPOSE,
+    TokenKind.DOTTRANSPOSE,
+    TokenKind.STRING,
+    TokenKind.END,  # `end` used as an index: a(end)' is a transpose
+}
+
+_TWO_CHAR_OPS = {
+    "==": TokenKind.EQ,
+    "~=": TokenKind.NE,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "&&": TokenKind.ANDAND,
+    "||": TokenKind.OROR,
+    ".*": TokenKind.DOTSTAR,
+    "./": TokenKind.DOTSLASH,
+    ".\\": TokenKind.DOTBACKSLASH,
+    ".^": TokenKind.DOTCARET,
+    ".'": TokenKind.DOTTRANSPOSE,
+}
+
+_ONE_CHAR_OPS = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMI,
+    "=": TokenKind.ASSIGN,
+    ":": TokenKind.COLON,
+    "@": TokenKind.AT,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "\\": TokenKind.BACKSLASH,
+    "^": TokenKind.CARET,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "&": TokenKind.AND,
+    "|": TokenKind.OR,
+    "~": TokenKind.NOT,
+    ".": TokenKind.DOT,
+}
+
+
+class Lexer:
+    """Tokenize MATLAB source text.
+
+    Use :func:`tokenize` for the common case; instantiate :class:`Lexer`
+    directly to tokenize incrementally.
+    """
+
+    def __init__(self, source: str, filename: str = "<script>"):
+        self.src = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+        self._prev_kind: TokenKind | None = None
+
+    # -- low-level helpers -------------------------------------------------
+
+    def _loc(self) -> SourceLocation:
+        return SourceLocation(self.filename, self.line, self.col)
+
+    def _peek(self, ahead: int = 0) -> str:
+        i = self.pos + ahead
+        return self.src[i] if i < len(self.src) else ""
+
+    def _advance(self, n: int = 1) -> str:
+        text = self.src[self.pos : self.pos + n]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+        self.pos += n
+        return text
+
+    # -- scanning ----------------------------------------------------------
+
+    def tokens(self) -> list[Token]:
+        """Scan the whole input and return the token list (ending in EOF)."""
+        out: list[Token] = []
+        while True:
+            tok = self.next_token()
+            out.append(tok)
+            if tok.kind is TokenKind.EOF:
+                return out
+
+    def next_token(self) -> Token:
+        self._skip_insignificant()
+        loc = self._loc()
+        ch = self._peek()
+
+        if ch == "":
+            tok = Token(TokenKind.EOF, "", loc)
+        elif ch == "\n":
+            self._advance()
+            tok = Token(TokenKind.NEWLINE, "\n", loc)
+        elif ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            tok = self._scan_number(loc)
+        elif ch.isalpha() or ch == "_":
+            tok = self._scan_ident(loc)
+        elif ch == "'":
+            if self._prev_kind in _TRANSPOSE_CONTEXT:
+                self._advance()
+                tok = Token(TokenKind.TRANSPOSE, "'", loc)
+            else:
+                tok = self._scan_string(loc)
+        else:
+            tok = self._scan_operator(loc)
+
+        self._prev_kind = tok.kind
+        return tok
+
+    def _skip_insignificant(self) -> None:
+        """Skip spaces, tabs, comments, and `...` continuations."""
+        while True:
+            ch = self._peek()
+            if ch in (" ", "\t", "\r"):
+                self._advance()
+            elif ch == "%":
+                while self._peek() not in ("", "\n"):
+                    self._advance()
+            elif ch == "." and self._peek(1) == "." and self._peek(2) == ".":
+                # Continuation: discard through (and including) the newline.
+                while self._peek() not in ("", "\n"):
+                    self._advance()
+                if self._peek() == "\n":
+                    self._advance()
+            else:
+                return
+
+    def _scan_number(self, loc: SourceLocation) -> Token:
+        start = self.pos
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == ".":
+            # Careful: `1.^2` and `2.'` keep the dot with the operator, and
+            # `1..5` never occurs (ranges use `:`), so a dot followed by an
+            # operator char belongs to the operator.
+            nxt = self._peek(1)
+            if nxt not in ("*", "/", "\\", "^", "'"):
+                self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+        if self._peek() in ("e", "E"):
+            save = self.pos
+            self._advance()
+            if self._peek() in ("+", "-"):
+                self._advance()
+            if self._peek().isdigit():
+                while self._peek().isdigit():
+                    self._advance()
+            else:
+                # Not an exponent after all (e.g. `2end` is impossible but
+                # `2e` followed by junk is an error in MATLAB too).
+                raise LexError("malformed exponent in numeric literal", loc)
+        text = self.src[start : self.pos]
+        if self._peek() in ("i", "j") and not (
+            self._peek(1).isalnum() or self._peek(1) == "_"
+        ):
+            self._advance()
+            return Token(TokenKind.IMAG_NUMBER, text, loc, value=float(text))
+        return Token(TokenKind.NUMBER, text, loc, value=float(text))
+
+    def _scan_ident(self, loc: SourceLocation) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.src[start : self.pos]
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        return Token(kind, text, loc)
+
+    def _scan_string(self, loc: SourceLocation) -> Token:
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if ch in ("", "\n"):
+                raise LexError("unterminated string literal", loc)
+            if ch == "'":
+                if self._peek(1) == "'":  # escaped quote
+                    chars.append("'")
+                    self._advance(2)
+                    continue
+                self._advance()
+                break
+            chars.append(ch)
+            self._advance()
+        value = "".join(chars)
+        return Token(TokenKind.STRING, f"'{value}'", loc, value=value)
+
+    def _scan_operator(self, loc: SourceLocation) -> Token:
+        two = self._peek() + self._peek(1)
+        if two in _TWO_CHAR_OPS:
+            self._advance(2)
+            return Token(_TWO_CHAR_OPS[two], two, loc)
+        one = self._peek()
+        if one in _ONE_CHAR_OPS:
+            self._advance()
+            return Token(_ONE_CHAR_OPS[one], one, loc)
+        raise LexError(f"unexpected character {one!r}", loc)
+
+
+def tokenize(source: str, filename: str = "<script>") -> list[Token]:
+    """Tokenize ``source`` and return the full token list ending in EOF."""
+    return Lexer(source, filename).tokens()

@@ -1,0 +1,106 @@
+"""M-file lookup.
+
+A MATLAB *program* is a script plus every user M-file function reachable
+from it.  Identifier resolution (pass 2) asks an :class:`MFileProvider` for
+the source of a candidate function name; providers can serve from an
+in-memory mapping (tests, generated workloads) or from ``.m`` files on disk.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping
+
+from . import ast_nodes as A
+from .parser import parse_function_file
+
+
+class MFileProvider:
+    """Resolve a function name to parsed :class:`FunctionDef` objects."""
+
+    def lookup(self, name: str) -> list[A.FunctionDef] | None:
+        raise NotImplementedError
+
+    def load_data_file(self, name: str):  # pragma: no cover - interface
+        """Return the contents of a data file (for `load`), or None."""
+        return None
+
+
+class DictProvider(MFileProvider):
+    """Serve M-files from an in-memory ``{name: source}`` mapping."""
+
+    def __init__(self, sources: Mapping[str, str] | None = None,
+                 data_files: Mapping[str, object] | None = None):
+        self.sources = dict(sources or {})
+        self.data_files = dict(data_files or {})
+        self._cache: dict[str, list[A.FunctionDef]] = {}
+
+    def lookup(self, name: str) -> list[A.FunctionDef] | None:
+        if name in self._cache:
+            return self._cache[name]
+        src = self.sources.get(name)
+        if src is None:
+            return None
+        funcs = parse_function_file(src, f"{name}.m")
+        self._cache[name] = funcs
+        return funcs
+
+    def load_data_file(self, name: str):
+        return self.data_files.get(name)
+
+
+class DirectoryProvider(MFileProvider):
+    """Serve ``name.m`` files from one or more directories, first hit wins."""
+
+    def __init__(self, paths: list[str]):
+        self.paths = list(paths)
+        self._cache: dict[str, list[A.FunctionDef] | None] = {}
+
+    def lookup(self, name: str) -> list[A.FunctionDef] | None:
+        if name in self._cache:
+            return self._cache[name]
+        result = None
+        for directory in self.paths:
+            candidate = os.path.join(directory, f"{name}.m")
+            if os.path.isfile(candidate):
+                with open(candidate, "r", encoding="utf-8") as fh:
+                    result = parse_function_file(fh.read(), candidate)
+                break
+        self._cache[name] = result
+        return result
+
+    def load_data_file(self, name: str):
+        import numpy as np
+
+        for directory in self.paths:
+            for candidate in (
+                os.path.join(directory, name),
+                os.path.join(directory, f"{name}.dat"),
+            ):
+                if os.path.isfile(candidate):
+                    return np.loadtxt(candidate)
+        return None
+
+
+class ChainProvider(MFileProvider):
+    """Try a sequence of providers in order."""
+
+    def __init__(self, providers: list[MFileProvider]):
+        self.providers = list(providers)
+
+    def lookup(self, name: str) -> list[A.FunctionDef] | None:
+        for provider in self.providers:
+            hit = provider.lookup(name)
+            if hit is not None:
+                return hit
+        return None
+
+    def load_data_file(self, name: str):
+        for provider in self.providers:
+            hit = provider.load_data_file(name)
+            if hit is not None:
+                return hit
+        return None
+
+
+EMPTY_PROVIDER = DictProvider({})

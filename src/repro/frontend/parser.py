@@ -1,0 +1,526 @@
+"""Recursive-descent parser for the MATLAB subset (pass 1).
+
+The original Otter used ``yacc``; this is an equivalent hand-written parser
+producing the AST in :mod:`repro.frontend.ast_nodes`.  Notable behaviour,
+matching the paper:
+
+* List elements (matrix-literal entries, argument lists) must be separated
+  by commas — white-space delimiting is rejected (Section 3 of the paper).
+* ``x(e)`` parses to an :class:`Apply` node; whether it is indexing or a
+  function call is decided by identifier resolution (pass 2).
+* Newlines terminate statements at the top level, separate matrix rows
+  inside ``[ ]``, and are insignificant inside ``( )``.
+
+Operator precedence (loosest to tightest), as in MATLAB:
+``||``  <  ``&&``  <  ``|``  <  ``&``  <  comparisons  <  ``:``  <
+``+ -``  <  ``* / \\ .* ./ .\\``  <  unary ``+ - ~``  <  ``^ .^``  <
+transpose.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError, SourceLocation
+from . import ast_nodes as A
+from .lexer import tokenize
+from .tokens import Token, TokenKind as T
+
+_CMP_OPS = {T.EQ, T.NE, T.LT, T.GT, T.LE, T.GE}
+_ADD_OPS = {T.PLUS, T.MINUS}
+_MUL_OPS = {T.STAR, T.SLASH, T.BACKSLASH, T.DOTSTAR, T.DOTSLASH, T.DOTBACKSLASH}
+_POW_OPS = {T.CARET, T.DOTCARET}
+
+_STMT_TERMINATORS = {T.SEMI, T.COMMA, T.NEWLINE, T.EOF}
+_BLOCK_ENDERS = {T.END, T.ELSE, T.ELSEIF, T.CASE, T.OTHERWISE, T.FUNCTION, T.EOF}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token], filename: str = "<script>"):
+        self.toks = tokens
+        self.i = 0
+        self.filename = filename
+        # Grouping stack: newlines are skipped inside '(' but are row
+        # separators inside '['.
+        self._groups: list[str] = []
+
+    # ------------------------------------------------------------------ #
+    # token-stream helpers
+    # ------------------------------------------------------------------ #
+
+    def _skip_invisible_newlines(self) -> None:
+        while (
+            self._groups
+            and self._groups[-1] == "paren"
+            and self.toks[self.i].kind is T.NEWLINE
+        ):
+            self.i += 1
+
+    def peek(self, ahead: int = 0) -> Token:
+        self._skip_invisible_newlines()
+        j = self.i + ahead
+        return self.toks[min(j, len(self.toks) - 1)]
+
+    def at(self, *kinds: T) -> bool:
+        return self.peek().kind in kinds
+
+    def advance(self) -> Token:
+        tok = self.peek()
+        if tok.kind is not T.EOF:
+            self.i += 1
+        return tok
+
+    def accept(self, kind: T) -> Token | None:
+        if self.at(kind):
+            return self.advance()
+        return None
+
+    def expect(self, kind: T, what: str = "") -> Token:
+        tok = self.peek()
+        if tok.kind is not kind:
+            wanted = what or kind.value
+            raise ParseError(f"expected {wanted!r}, found {tok.text!r}", tok.loc)
+        return self.advance()
+
+    def error(self, message: str, loc: SourceLocation | None = None) -> ParseError:
+        return ParseError(message, loc or self.peek().loc)
+
+    # ------------------------------------------------------------------ #
+    # program units
+    # ------------------------------------------------------------------ #
+
+    def parse_script(self, name: str = "script") -> A.Script:
+        """Parse a script M-file: a statement list with no function defs."""
+        if self._file_is_function():
+            raise self.error("expected a script, found a function M-file")
+        body = self._stmt_list(stop={T.EOF})
+        self.expect(T.EOF)
+        return A.Script(name=name, body=body)
+
+    def parse_function_file(self) -> list[A.FunctionDef]:
+        """Parse a function M-file: a primary function plus subfunctions."""
+        self._skip_separators()
+        funcs: list[A.FunctionDef] = []
+        while self.at(T.FUNCTION):
+            funcs.append(self._function_def())
+            self._skip_separators()
+        if not funcs:
+            raise self.error("expected 'function'")
+        self.expect(T.EOF)
+        return funcs
+
+    def parse_unit(self, name: str) -> A.Script | list[A.FunctionDef]:
+        """Parse either kind of M-file, dispatching on the first token."""
+        if self._file_is_function():
+            return self.parse_function_file()
+        return self.parse_script(name)
+
+    def _file_is_function(self) -> bool:
+        j = self.i
+        while j < len(self.toks) and self.toks[j].kind in (T.NEWLINE, T.SEMI):
+            j += 1
+        return j < len(self.toks) and self.toks[j].kind is T.FUNCTION
+
+    def _function_def(self) -> A.FunctionDef:
+        loc = self.expect(T.FUNCTION).loc
+        returns: list[str] = []
+        # Three header forms:  function name(...)
+        #                      function out = name(...)
+        #                      function [o1, o2] = name(...)
+        if self.at(T.LBRACKET):
+            self.advance()
+            while not self.at(T.RBRACKET):
+                returns.append(self.expect(T.IDENT).text)
+                if not self.accept(T.COMMA):
+                    break
+            self.expect(T.RBRACKET)
+            self.expect(T.ASSIGN)
+            name = self.expect(T.IDENT).text
+        else:
+            first = self.expect(T.IDENT).text
+            if self.accept(T.ASSIGN):
+                returns = [first]
+                name = self.expect(T.IDENT).text
+            else:
+                name = first
+        params: list[str] = []
+        if self.accept(T.LPAREN):
+            self._groups.append("paren")
+            while not self.at(T.RPAREN):
+                params.append(self.expect(T.IDENT).text)
+                if not self.accept(T.COMMA):
+                    break
+            self._groups.pop()
+            self.expect(T.RPAREN)
+        body = self._stmt_list(stop={T.FUNCTION, T.EOF})
+        return A.FunctionDef(loc=loc, name=name, params=params, returns=returns, body=body)
+
+    # ------------------------------------------------------------------ #
+    # statements
+    # ------------------------------------------------------------------ #
+
+    def _skip_separators(self) -> None:
+        while self.at(T.NEWLINE, T.SEMI, T.COMMA):
+            self.advance()
+
+    def _stmt_list(self, stop: set[T]) -> list[A.Stmt]:
+        body: list[A.Stmt] = []
+        self._skip_separators()
+        while not self.at(*stop):
+            body.append(self._statement())
+            self._skip_separators()
+        return body
+
+    def _terminator(self) -> bool:
+        """Consume a statement terminator; return True if output suppressed."""
+        tok = self.peek()
+        if tok.kind is T.SEMI:
+            self.advance()
+            return True
+        if tok.kind in (T.COMMA, T.NEWLINE):
+            self.advance()
+            return False
+        if tok.kind in _BLOCK_ENDERS:
+            return False
+        raise self.error(f"expected end of statement, found {tok.text!r}")
+
+    def _statement(self) -> A.Stmt:
+        tok = self.peek()
+        if tok.kind is T.IF:
+            return self._if_stmt()
+        if tok.kind is T.FOR:
+            return self._for_stmt()
+        if tok.kind is T.WHILE:
+            return self._while_stmt()
+        if tok.kind is T.SWITCH:
+            return self._switch_stmt()
+        if tok.kind is T.BREAK:
+            self.advance()
+            self._terminator()
+            return A.Break(loc=tok.loc)
+        if tok.kind is T.CONTINUE:
+            self.advance()
+            self._terminator()
+            return A.Continue(loc=tok.loc)
+        if tok.kind is T.RETURN:
+            self.advance()
+            self._terminator()
+            return A.Return(loc=tok.loc)
+        if tok.kind is T.GLOBAL:
+            self.advance()
+            names = [self.expect(T.IDENT).text]
+            # `global a, b` declares both, but `global a, b = 1` is a
+            # global statement followed by an assignment.
+            while (self.at(T.COMMA) and self.peek(1).kind is T.IDENT
+                   and self.peek(2).kind is not T.ASSIGN
+                   and self.peek(2).kind is not T.LPAREN):
+                self.advance()
+                names.append(self.expect(T.IDENT).text)
+            self._terminator()
+            return A.Global(loc=tok.loc, names=names)
+        if tok.kind is T.LBRACKET:
+            multi = self._try_multi_assign()
+            if multi is not None:
+                return multi
+        return self._simple_stmt()
+
+    def _try_multi_assign(self) -> A.MultiAssign | None:
+        """Attempt ``[a, b(i)] = f(...)``; backtrack on failure."""
+        save = self.i
+        loc = self.peek().loc
+        try:
+            self.advance()  # '['
+            targets: list[A.LValue] = []
+            while True:
+                targets.append(self._lvalue())
+                if not self.accept(T.COMMA):
+                    break
+            self.expect(T.RBRACKET)
+            self.expect(T.ASSIGN)
+        except ParseError:
+            self.i = save
+            return None
+        rhs = self._expression()
+        if not isinstance(rhs, A.Apply):
+            raise self.error("right-hand side of [..] = must be a function call", loc)
+        suppressed = self._terminator()
+        return A.MultiAssign(loc=loc, targets=targets, call=rhs, display=not suppressed)
+
+    def _lvalue(self) -> A.LValue:
+        tok = self.expect(T.IDENT)
+        if self.at(T.LPAREN):
+            args = self._apply_args()
+            return A.IndexLValue(loc=tok.loc, name=tok.text, args=args)
+        return A.NameLValue(loc=tok.loc, name=tok.text)
+
+    def _simple_stmt(self) -> A.Stmt:
+        loc = self.peek().loc
+        expr = self._expression()
+        if self.at(T.ASSIGN):
+            self.advance()
+            target = self._expr_to_lvalue(expr)
+            value = self._expression()
+            suppressed = self._terminator()
+            return A.Assign(loc=loc, target=target, value=value, display=not suppressed)
+        suppressed = self._terminator()
+        return A.ExprStmt(loc=loc, value=expr, display=not suppressed)
+
+    def _expr_to_lvalue(self, expr: A.Expr) -> A.LValue:
+        if isinstance(expr, A.Ident):
+            return A.NameLValue(loc=expr.loc, name=expr.name)
+        if isinstance(expr, A.Apply):
+            return A.IndexLValue(loc=expr.loc, name=expr.name, args=expr.args)
+        raise self.error("invalid assignment target", expr.loc)
+
+    def _if_stmt(self) -> A.If:
+        loc = self.expect(T.IF).loc
+        branches: list[tuple[A.Expr, list[A.Stmt]]] = []
+        cond = self._expression()
+        body = self._stmt_list(stop=_BLOCK_ENDERS)
+        branches.append((cond, body))
+        orelse: list[A.Stmt] = []
+        while self.at(T.ELSEIF):
+            self.advance()
+            cond = self._expression()
+            body = self._stmt_list(stop=_BLOCK_ENDERS)
+            branches.append((cond, body))
+        if self.accept(T.ELSE):
+            orelse = self._stmt_list(stop=_BLOCK_ENDERS)
+        self.expect(T.END)
+        return A.If(loc=loc, branches=branches, orelse=orelse)
+
+    def _for_stmt(self) -> A.For:
+        loc = self.expect(T.FOR).loc
+        var = self.expect(T.IDENT).text
+        self.expect(T.ASSIGN)
+        iterable = self._expression()
+        body = self._stmt_list(stop=_BLOCK_ENDERS)
+        self.expect(T.END)
+        return A.For(loc=loc, var=var, iterable=iterable, body=body)
+
+    def _while_stmt(self) -> A.While:
+        loc = self.expect(T.WHILE).loc
+        cond = self._expression()
+        body = self._stmt_list(stop=_BLOCK_ENDERS)
+        self.expect(T.END)
+        return A.While(loc=loc, cond=cond, body=body)
+
+    def _switch_stmt(self) -> A.Switch:
+        loc = self.expect(T.SWITCH).loc
+        subject = self._expression()
+        self._skip_separators()
+        cases: list[tuple[list[A.Expr], list[A.Stmt]]] = []
+        otherwise: list[A.Stmt] = []
+        while self.at(T.CASE):
+            self.advance()
+            values: list[A.Expr]
+            if self.at(T.LBRACE):
+                self.advance()
+                self._groups.append("paren")
+                values = [self._expression()]
+                while self.accept(T.COMMA):
+                    values.append(self._expression())
+                self._groups.pop()
+                self.expect(T.RBRACE)
+            else:
+                values = [self._expression()]
+            body = self._stmt_list(stop=_BLOCK_ENDERS)
+            cases.append((values, body))
+        if self.accept(T.OTHERWISE):
+            otherwise = self._stmt_list(stop=_BLOCK_ENDERS)
+        self.expect(T.END)
+        return A.Switch(loc=loc, subject=subject, cases=cases, otherwise=otherwise)
+
+    # ------------------------------------------------------------------ #
+    # expressions
+    # ------------------------------------------------------------------ #
+
+    def _expression(self) -> A.Expr:
+        return self._oror()
+
+    def _binop_chain(self, sub, ops: set[T]) -> A.Expr:
+        lhs = sub()
+        while self.at(*ops):
+            op = self.advance()
+            rhs = sub()
+            lhs = A.BinOp(loc=op.loc, op=op.text, lhs=lhs, rhs=rhs)
+        return lhs
+
+    def _oror(self) -> A.Expr:
+        return self._binop_chain(self._andand, {T.OROR})
+
+    def _andand(self) -> A.Expr:
+        return self._binop_chain(self._elem_or, {T.ANDAND})
+
+    def _elem_or(self) -> A.Expr:
+        return self._binop_chain(self._elem_and, {T.OR})
+
+    def _elem_and(self) -> A.Expr:
+        return self._binop_chain(self._comparison, {T.AND})
+
+    def _comparison(self) -> A.Expr:
+        return self._binop_chain(self._range, _CMP_OPS)
+
+    def _range(self) -> A.Expr:
+        start = self._additive()
+        if not self.at(T.COLON):
+            return start
+        loc = self.advance().loc
+        second = self._additive()
+        if self.at(T.COLON):
+            self.advance()
+            stop = self._additive()
+            return A.Range(loc=loc, start=start, stop=stop, step=second)
+        return A.Range(loc=loc, start=start, stop=second, step=None)
+
+    def _additive(self) -> A.Expr:
+        return self._binop_chain(self._multiplicative, _ADD_OPS)
+
+    def _multiplicative(self) -> A.Expr:
+        return self._binop_chain(self._unary, _MUL_OPS)
+
+    def _unary(self) -> A.Expr:
+        tok = self.peek()
+        if tok.kind in (T.MINUS, T.PLUS, T.NOT):
+            self.advance()
+            operand = self._unary()
+            return A.UnaryOp(loc=tok.loc, op=tok.text, operand=operand)
+        return self._power()
+
+    def _power(self) -> A.Expr:
+        base = self._postfix()
+        if self.at(*_POW_OPS):
+            op = self.advance()
+            # Exponent may carry a unary sign: 2^-3.  MATLAB's ^ is left-
+            # associative, but chained ^ is rare; we parse it as in MATLAB
+            # by looping.
+            exponent = self._power_operand()
+            expr = A.BinOp(loc=op.loc, op=op.text, lhs=base, rhs=exponent)
+            while self.at(*_POW_OPS):
+                op = self.advance()
+                exponent = self._power_operand()
+                expr = A.BinOp(loc=op.loc, op=op.text, lhs=expr, rhs=exponent)
+            return expr
+        return base
+
+    def _power_operand(self) -> A.Expr:
+        tok = self.peek()
+        if tok.kind in (T.MINUS, T.PLUS, T.NOT):
+            self.advance()
+            return A.UnaryOp(loc=tok.loc, op=tok.text, operand=self._power_operand())
+        return self._postfix()
+
+    def _postfix(self) -> A.Expr:
+        expr = self._primary()
+        while self.at(T.TRANSPOSE, T.DOTTRANSPOSE):
+            tok = self.advance()
+            expr = A.Transpose(
+                loc=tok.loc, operand=expr, conjugate=(tok.kind is T.TRANSPOSE)
+            )
+        return expr
+
+    def _primary(self) -> A.Expr:
+        tok = self.peek()
+        if tok.kind is T.NUMBER:
+            self.advance()
+            return A.Num(loc=tok.loc, value=float(tok.value))
+        if tok.kind is T.IMAG_NUMBER:
+            self.advance()
+            return A.ImagNum(loc=tok.loc, value=float(tok.value))
+        if tok.kind is T.STRING:
+            self.advance()
+            return A.Str(loc=tok.loc, value=str(tok.value))
+        if tok.kind is T.IDENT:
+            self.advance()
+            if self.at(T.LPAREN):
+                args = self._apply_args()
+                return A.Apply(loc=tok.loc, name=tok.text, args=args)
+            return A.Ident(loc=tok.loc, name=tok.text)
+        if tok.kind is T.END:
+            # Only meaningful inside a subscript; resolution validates that.
+            self.advance()
+            return A.EndRef(loc=tok.loc)
+        if tok.kind is T.LPAREN:
+            self.advance()
+            self._groups.append("paren")
+            inner = self._expression()
+            self._groups.pop()
+            self.expect(T.RPAREN)
+            return inner
+        if tok.kind is T.LBRACKET:
+            return self._matrix_literal()
+        raise self.error(f"unexpected token {tok.text!r} in expression")
+
+    def _apply_args(self) -> list[A.Expr]:
+        self.expect(T.LPAREN)
+        self._groups.append("paren")
+        args: list[A.Expr] = []
+        if not self.at(T.RPAREN):
+            while True:
+                args.append(self._subscript_expr())
+                if not self.accept(T.COMMA):
+                    break
+        self._groups.pop()
+        self.expect(T.RPAREN)
+        return args
+
+    def _subscript_expr(self) -> A.Expr:
+        # A bare ':' (whole dimension) is only legal directly as an argument.
+        if self.at(T.COLON) and self.peek(1).kind in (T.COMMA, T.RPAREN):
+            tok = self.advance()
+            return A.Colon(loc=tok.loc)
+        return self._expression()
+
+    def _matrix_literal(self) -> A.MatrixLit:
+        loc = self.expect(T.LBRACKET).loc
+        self._groups.append("bracket")
+        rows: list[list[A.Expr]] = []
+        current: list[A.Expr] = []
+        # skip leading newlines: `[<newline> 1, 2]`
+        while self.at(T.NEWLINE):
+            self.advance()
+        while not self.at(T.RBRACKET):
+            current.append(self._expression())
+            if self.accept(T.COMMA):
+                continue
+            if self.at(T.SEMI, T.NEWLINE):
+                while self.at(T.SEMI, T.NEWLINE):
+                    self.advance()
+                if current:
+                    rows.append(current)
+                    current = []
+                continue
+            if self.at(T.RBRACKET):
+                break
+            # Anything else is the unsupported white-space delimiter form.
+            raise self.error(
+                "list elements must be comma-delimited "
+                "(white-space delimiting is not supported)"
+            )
+        if current:
+            rows.append(current)
+        self._groups.pop()
+        self.expect(T.RBRACKET)
+        return A.MatrixLit(loc=loc, rows=rows)
+
+
+# ---------------------------------------------------------------------- #
+# public helpers
+# ---------------------------------------------------------------------- #
+
+
+def parse_script(source: str, name: str = "script") -> A.Script:
+    """Parse MATLAB script source text into a :class:`Script`."""
+    return Parser(tokenize(source, name), name).parse_script(name)
+
+
+def parse_function_file(source: str, name: str = "<mfile>") -> list[A.FunctionDef]:
+    """Parse a function M-file into its function definitions."""
+    return Parser(tokenize(source, name), name).parse_function_file()
+
+
+def parse_expression(source: str) -> A.Expr:
+    """Parse a single expression (used heavily by tests)."""
+    parser = Parser(tokenize(source, "<expr>"), "<expr>")
+    expr = parser._expression()
+    parser._skip_separators()
+    parser.expect(T.EOF)
+    return expr

@@ -1,0 +1,183 @@
+"""AST -> MATLAB source (the inverse of the parser).
+
+Used by the round-trip property tests (``parse(unparse(ast)) == ast``) and
+by tooling that wants to echo normalized MATLAB (the CLI's
+``--emit matlab``).  Output is fully parenthesized where precedence could
+bite, and always comma-delimited — the subset's canonical form.
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as A
+
+#: operator precedence (higher binds tighter), mirroring the parser
+_PREC = {
+    "||": 1, "&&": 2, "|": 3, "&": 4,
+    "==": 5, "~=": 5, "<": 5, ">": 5, "<=": 5, ">=": 5,
+    # ranges sit at 6
+    "+": 7, "-": 7,
+    "*": 8, "/": 8, "\\": 8, ".*": 8, "./": 8, ".\\": 8,
+    # unary 9
+    "^": 10, ".^": 10,
+}
+
+
+def _num(value: float) -> str:
+    if value == int(value) and abs(value) < 1e16:
+        return str(int(value))
+    return repr(value)
+
+
+def unparse_expr(expr: A.Expr, parent_prec: int = 0) -> str:
+    """Render one expression, parenthesizing against ``parent_prec``."""
+    text, prec = _expr(expr)
+    if prec < parent_prec:
+        return f"({text})"
+    return text
+
+
+def _expr(expr: A.Expr) -> tuple[str, int]:
+    if isinstance(expr, A.Num):
+        return _num(expr.value), 11
+    if isinstance(expr, A.ImagNum):
+        return f"{_num(expr.value)}i", 11
+    if isinstance(expr, A.Str):
+        escaped = expr.value.replace("'", "''")
+        return f"'{escaped}'", 11
+    if isinstance(expr, A.Ident):
+        return expr.name, 11
+    if isinstance(expr, A.Colon):
+        return ":", 11
+    if isinstance(expr, A.EndRef):
+        return "end", 11
+    if isinstance(expr, A.BinOp):
+        prec = _PREC[expr.op]
+        lhs = unparse_expr(expr.lhs, prec)
+        # left-assoc: right operand needs one notch more
+        rhs = unparse_expr(expr.rhs, prec + 1)
+        return f"{lhs} {expr.op} {rhs}", prec
+    if isinstance(expr, A.UnaryOp):
+        inner = unparse_expr(expr.operand, 9)
+        return f"{expr.op}{inner}", 9
+    if isinstance(expr, A.Transpose):
+        inner = unparse_expr(expr.operand, 11)
+        mark = "'" if expr.conjugate else ".'"
+        return f"{inner}{mark}", 11
+    if isinstance(expr, A.Range):
+        start = unparse_expr(expr.start, 7)
+        stop = unparse_expr(expr.stop, 7)
+        if expr.step is not None:
+            step = unparse_expr(expr.step, 7)
+            return f"{start}:{step}:{stop}", 6
+        return f"{start}:{stop}", 6
+    if isinstance(expr, A.MatrixLit):
+        rows = "; ".join(
+            ", ".join(unparse_expr(e) for e in row) for row in expr.rows)
+        return f"[{rows}]", 11
+    if isinstance(expr, A.Apply):
+        args = ", ".join(unparse_expr(a) for a in expr.args)
+        return f"{expr.name}({args})", 11
+    raise TypeError(f"cannot unparse {type(expr).__name__}")
+
+
+def _lvalue(target: A.LValue) -> str:
+    if isinstance(target, A.IndexLValue):
+        args = ", ".join(unparse_expr(a) for a in target.args)
+        return f"{target.name}({args})"
+    return target.name
+
+
+def _stmt(stmt: A.Stmt, indent: int, out: list[str]) -> None:
+    pad = "    " * indent
+
+    def terminated(text: str, display: bool) -> str:
+        return f"{pad}{text}" if display else f"{pad}{text};"
+
+    if isinstance(stmt, A.Assign):
+        out.append(terminated(
+            f"{_lvalue(stmt.target)} = {unparse_expr(stmt.value)}",
+            stmt.display))
+    elif isinstance(stmt, A.MultiAssign):
+        targets = ", ".join(_lvalue(t) for t in stmt.targets)
+        out.append(terminated(
+            f"[{targets}] = {unparse_expr(stmt.call)}", stmt.display))
+    elif isinstance(stmt, A.ExprStmt):
+        out.append(terminated(unparse_expr(stmt.value), stmt.display))
+    elif isinstance(stmt, A.If):
+        for k, (cond, body) in enumerate(stmt.branches):
+            head = "if" if k == 0 else "elseif"
+            out.append(f"{pad}{head} {unparse_expr(cond)}")
+            for s in body:
+                _stmt(s, indent + 1, out)
+        if stmt.orelse:
+            out.append(f"{pad}else")
+            for s in stmt.orelse:
+                _stmt(s, indent + 1, out)
+        out.append(f"{pad}end")
+    elif isinstance(stmt, A.For):
+        out.append(f"{pad}for {stmt.var} = {unparse_expr(stmt.iterable)}")
+        for s in stmt.body:
+            _stmt(s, indent + 1, out)
+        out.append(f"{pad}end")
+    elif isinstance(stmt, A.While):
+        out.append(f"{pad}while {unparse_expr(stmt.cond)}")
+        for s in stmt.body:
+            _stmt(s, indent + 1, out)
+        out.append(f"{pad}end")
+    elif isinstance(stmt, A.Switch):
+        out.append(f"{pad}switch {unparse_expr(stmt.subject)}")
+        for values, body in stmt.cases:
+            if len(values) == 1:
+                out.append(f"{pad}case {unparse_expr(values[0])}")
+            else:
+                inner = ", ".join(unparse_expr(v) for v in values)
+                out.append(f"{pad}case {{{inner}}}")
+            for s in body:
+                _stmt(s, indent + 1, out)
+        if stmt.otherwise:
+            out.append(f"{pad}otherwise")
+            for s in stmt.otherwise:
+                _stmt(s, indent + 1, out)
+        out.append(f"{pad}end")
+    elif isinstance(stmt, A.Break):
+        out.append(f"{pad}break")
+    elif isinstance(stmt, A.Continue):
+        out.append(f"{pad}continue")
+    elif isinstance(stmt, A.Return):
+        out.append(f"{pad}return")
+    elif isinstance(stmt, A.Global):
+        out.append(f"{pad}global {', '.join(stmt.names)}")
+    else:
+        raise TypeError(f"cannot unparse {type(stmt).__name__}")
+
+
+def unparse_script(script: A.Script) -> str:
+    out: list[str] = []
+    for stmt in script.body:
+        _stmt(stmt, 0, out)
+    return "\n".join(out) + "\n"
+
+
+def unparse_function(func: A.FunctionDef) -> str:
+    out: list[str] = []
+    if len(func.returns) == 1:
+        head = f"function {func.returns[0]} = {func.name}"
+    elif func.returns:
+        head = f"function [{', '.join(func.returns)}] = {func.name}"
+    else:
+        head = f"function {func.name}"
+    if func.params:
+        head += f"({', '.join(func.params)})"
+    out.append(head)
+    for stmt in func.body:
+        _stmt(stmt, 0, out)
+    return "\n".join(out) + "\n"
+
+
+def unparse(unit: A.Script | A.FunctionDef | list[A.FunctionDef]) -> str:
+    """Render a script, one function, or a whole function M-file."""
+    if isinstance(unit, A.Script):
+        return unparse_script(unit)
+    if isinstance(unit, A.FunctionDef):
+        return unparse_function(unit)
+    return "\n".join(unparse_function(f) for f in unit)

@@ -1,0 +1,32 @@
+"""Reference MATLAB interpreter: the correctness oracle and the paper's
+interpreter baseline (with a 1997-era cost model)."""
+
+from .builtins import TABLE as BUILTIN_TABLE
+from .costmodel import CostMeter, InterpCostParams, NULL_METER, NullMeter
+from .interpreter import Interpreter, apply_binop, run_source
+from .profiler import LineProfiler, LineStats
+from .values import (
+    COLON,
+    Value,
+    as_matrix,
+    colon_range,
+    display,
+    format_value,
+    index_assign,
+    index_read,
+    is_scalar,
+    numel,
+    shape_of,
+    simplify,
+    truthy,
+)
+
+__all__ = [
+    "BUILTIN_TABLE",
+    "CostMeter", "InterpCostParams", "NULL_METER", "NullMeter",
+    "Interpreter", "apply_binop", "run_source",
+    "LineProfiler", "LineStats",
+    "COLON", "Value", "as_matrix", "colon_range", "display", "format_value",
+    "index_assign", "index_read", "is_scalar", "numel", "shape_of",
+    "simplify", "truthy",
+]

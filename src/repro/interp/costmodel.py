@@ -1,0 +1,110 @@
+"""Cost model for the reference MATLAB interpreter.
+
+The benchmarks in the paper are *relative to The MathWorks interpreter* on
+one CPU, so the interpreter must carry a performance model of its 1997
+self.  The model below charges virtual seconds to a meter as the
+interpreter executes:
+
+* ``stmt_dispatch`` — parse-tree walk + dispatch per executed statement
+* ``op_overhead``  — per vector/matrix operation (dynamic dispatch, type
+  checks, result allocation)
+* ``elem_time``    — per element per elementwise operation (the 1997
+  interpreter's vector loops, slower than compiled C)
+* ``flop_time``    — per floating-point operation in O(n^3)/O(n^2) kernels
+  (matrix multiply, matrix-vector multiply, solve)
+* ``mem_time``     — per element of temporary traffic (the interpreter
+  materializes every intermediate)
+* ``index_time``   — per scalar element access ``a(i,j)``
+
+Compiled code (Otter or MATCOM) is charged by *its* models; the ratio of
+the two reproduces Figure 2, and the parallel run-time's model on top of
+the simulated MPI layer reproduces Figures 3-6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InterpCostParams:
+    stmt_dispatch: float
+    op_overhead: float
+    elem_time: float
+    flop_time: float
+    mem_time: float
+    index_time: float
+
+
+class CostMeter:
+    """Accumulates virtual seconds; the interpreter calls the charge_*
+    hooks as it executes."""
+
+    def __init__(self, params: InterpCostParams):
+        self.params = params
+        self.time = 0.0
+        self.stmts = 0
+        self.ops = 0
+
+    def reset(self) -> None:
+        self.time = 0.0
+        self.stmts = 0
+        self.ops = 0
+
+    def charge_stmt(self) -> None:
+        self.stmts += 1
+        self.time += self.params.stmt_dispatch
+
+    def charge_elementwise(self, nelems: int, nops: int = 1) -> None:
+        """An elementwise op over ``nelems`` elements (+ a temporary)."""
+        self.ops += 1
+        p = self.params
+        self.time += (p.op_overhead
+                      + nelems * nops * p.elem_time
+                      + nelems * p.mem_time)
+
+    def charge_flops(self, flops: int) -> None:
+        """A dense linear-algebra kernel of ``flops`` operations."""
+        self.ops += 1
+        self.time += self.params.op_overhead + flops * self.params.flop_time
+
+    def charge_alloc(self, nelems: int) -> None:
+        self.time += self.params.op_overhead + nelems * self.params.mem_time
+
+    def charge_index(self) -> None:
+        self.time += self.params.index_time
+
+    def charge_copy(self, nelems: int) -> None:
+        self.time += nelems * self.params.mem_time
+
+
+class NullMeter:
+    """No-op meter used when only program results are wanted."""
+
+    time = 0.0
+    stmts = 0
+    ops = 0
+
+    def reset(self) -> None:  # pragma: no cover - trivial
+        pass
+
+    def charge_stmt(self) -> None:
+        pass
+
+    def charge_elementwise(self, nelems: int, nops: int = 1) -> None:
+        pass
+
+    def charge_flops(self, flops: int) -> None:
+        pass
+
+    def charge_alloc(self, nelems: int) -> None:
+        pass
+
+    def charge_index(self) -> None:
+        pass
+
+    def charge_copy(self, nelems: int) -> None:
+        pass
+
+
+NULL_METER = NullMeter()

@@ -1,0 +1,47 @@
+"""Statement-level IR and the compiler middle-end passes 4-6."""
+
+from .guard import guard_program
+from .lower import Lowerer, lower_program
+from .nodes import (
+    CallUser,
+    ColonSub,
+    Const,
+    Copy,
+    Display,
+    Elementwise,
+    EwExpr,
+    EwNode,
+    IndexAssign,
+    IRBreak,
+    IRContinue,
+    IRFor,
+    IRFunction,
+    IRGlobal,
+    IRIf,
+    IRProgram,
+    IRReturn,
+    IRStmt,
+    IRWhile,
+    Operand,
+    RTCall,
+    SetElement,
+    StrConst,
+    Temp,
+    Var,
+    ew_op_count,
+    ew_operands,
+)
+from .licm import LicmStats, licm_program
+from .peephole import PeepholeStats, peephole_program
+from .pretty import pretty_ir
+
+__all__ = [
+    "guard_program", "Lowerer", "lower_program",
+    "CallUser", "ColonSub", "Const", "Copy", "Display", "Elementwise",
+    "EwExpr", "EwNode", "IndexAssign", "IRBreak", "IRContinue", "IRFor",
+    "IRFunction", "IRGlobal", "IRIf", "IRProgram", "IRReturn", "IRStmt",
+    "IRWhile", "Operand", "RTCall", "SetElement", "StrConst", "Temp",
+    "Var", "ew_op_count", "ew_operands",
+    "LicmStats", "licm_program",
+    "PeepholeStats", "peephole_program", "pretty_ir",
+]

@@ -1,0 +1,76 @@
+"""Pass 5 — guarding scalar element stores.
+
+"Statements manipulating individual elements of matrices ... must be
+surrounded by a conditional, so that only the processor owning the matrix
+element referenced on the left-hand side of the statement actually
+performs the operations on the right-hand side and assigns the result."
+
+The lowering produced generic :class:`IndexAssign` statements; this pass
+rewrites the qualifying ones (scalar subscripts, scalar right-hand side)
+into the guarded :class:`SetElement` form that both backends emit as an
+``ML_owner`` conditional.  Stores that might grow the matrix need no
+special treatment here — the run-time store falls back dynamically.
+"""
+
+from __future__ import annotations
+
+from ..analysis.lattice import Rank, VarType
+from .nodes import (
+    ColonSub,
+    Const,
+    IndexAssign,
+    IRFor,
+    IRIf,
+    IRProgram,
+    IRWhile,
+    SetElement,
+    Var,
+)
+
+
+class _UnitGuard:
+    def __init__(self, var_types: dict[str, VarType]):
+        self.var_types = var_types
+        self.temp_scalar: dict[object, bool] = {}
+
+    def _is_scalar(self, op) -> bool:
+        if isinstance(op, Const):
+            return True
+        if isinstance(op, ColonSub):
+            return False
+        if isinstance(op, Var):
+            vtype = self.var_types.get(op.name)
+            return vtype is not None and vtype.rank is Rank.SCALAR
+        return self.temp_scalar.get(op, False)
+
+    def run(self, block: list) -> None:
+        for i, stmt in enumerate(block):
+            dest = getattr(stmt, "dest", None)
+            vtype = getattr(stmt, "vtype", None)
+            if dest is not None and vtype is not None:
+                self.temp_scalar[dest] = vtype.rank is Rank.SCALAR
+            if isinstance(stmt, IndexAssign):
+                subs_ok = (len(stmt.subs) in (1, 2)
+                           and all(self._is_scalar(s) for s in stmt.subs))
+                if subs_ok and self._is_scalar(stmt.rhs):
+                    block[i] = SetElement(var=stmt.var, subs=stmt.subs,
+                                          rhs=stmt.rhs, guarded=True)
+            elif isinstance(stmt, IRIf):
+                for cond_stmts, _cond, branch in stmt.branches:
+                    self.run(cond_stmts)
+                    self.run(branch)
+                self.run(stmt.orelse)
+            elif isinstance(stmt, IRFor):
+                self.run(stmt.iter_stmts)
+                self.run(stmt.body)
+            elif isinstance(stmt, IRWhile):
+                self.run(stmt.cond_stmts)
+                self.run(stmt.body)
+
+
+def guard_program(ir: IRProgram) -> IRProgram:
+    """Run pass 5 in place (and return the program for chaining)."""
+    _UnitGuard(ir.var_types).run(ir.body)
+    for func in ir.functions.values():
+        _UnitGuard(func.var_types).run(func.body)
+    return ir

@@ -1,0 +1,321 @@
+"""Statement-level intermediate representation (output of pass 4).
+
+Pass 4 ("expression rewriting") hoists every subexpression that may
+involve interprocessor communication to the statement level, where it
+becomes a run-time-library call (:class:`RTCall`).  What remains of each
+statement is a purely elementwise expression tree (:class:`Elementwise`) —
+the paper's generated ``for`` loop over each processor's local elements.
+
+Control flow stays structured (:class:`IRIf`/:class:`IRFor`/:class:`IRWhile`)
+so both backends can emit natural code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..analysis.lattice import UNKNOWN, VarType
+
+# --------------------------------------------------------------------------
+# operands
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Operand:
+    pass
+
+
+@dataclass(frozen=True)
+class Var(Operand):
+    """A user variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Temp(Operand):
+    """A compiler temporary (the paper's ``ML_tmp<k>``)."""
+
+    index: int
+
+    @property
+    def name(self) -> str:
+        return f"ML_tmp{self.index}"
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Operand):
+    """A numeric constant (complex for imaginary literals)."""
+
+    value: complex
+
+    def __repr__(self) -> str:
+        v = self.value
+        if isinstance(v, complex) and v.imag == 0:
+            v = v.real
+        return repr(v)
+
+
+@dataclass(frozen=True)
+class StrConst(Operand):
+    value: str
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class ColonSub(Operand):
+    """A ':' whole-dimension subscript."""
+
+    def __repr__(self) -> str:
+        return ":"
+
+
+# --------------------------------------------------------------------------
+# elementwise expression trees
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EwNode:
+    """Interior node of a fused elementwise tree.
+
+    ``op`` is a MATLAB operator (``+``, ``.*``, ``<=``, ...), a unary op
+    (``u-``, ``u+``, ``u~``), a short-circuit op (``&&``/``||``, scalar
+    context only), or an elementwise builtin (``fn:sqrt``).
+    """
+
+    op: str
+    args: tuple["EwExpr", ...]
+    #: result of this node is a replicated scalar: it contributes no
+    #: per-element work to the fused loop (any real compiler hoists
+    #: loop-invariant scalar subexpressions out of the loop)
+    scalar: bool = False
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.op}({inner})"
+
+
+EwExpr = Union[EwNode, Operand]
+
+
+def ew_op_count(expr: EwExpr) -> int:
+    """Number of *per-element* arithmetic operations in a fused tree (for
+    the cost model's fused-loop charge).  Scalar-result subtrees are
+    loop-invariant and count as zero."""
+    if isinstance(expr, EwNode):
+        own = 0 if expr.scalar else 1
+        return own + sum(ew_op_count(a) for a in expr.args)
+    return 0
+
+
+def ew_operands(expr: EwExpr) -> list[Operand]:
+    if isinstance(expr, EwNode):
+        out: list[Operand] = []
+        for a in expr.args:
+            out.extend(ew_operands(a))
+        return out
+    return [expr]
+
+
+# --------------------------------------------------------------------------
+# statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class IRStmt:
+    pass
+
+
+@dataclass
+class RTCall(IRStmt):
+    """``dest = ML_<op>(args...)`` — a run-time library call.
+
+    ``op`` values: matmul, matmul_t (peephole-fused a' * b), dot, transpose,
+    transpose_nc, solve_left, solve_right, matrix_power, broadcast_element,
+    index_read, range, literal, dim, builtin:<name>.
+    """
+
+    dest: Optional[Operand]
+    op: str
+    args: list = field(default_factory=list)  # Operands / sub-lists for rows
+    vtype: VarType = UNKNOWN
+    nargout: int = 1
+    extra_dests: list[Operand] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        lhs = f"{self.dest!r} = " if self.dest is not None else ""
+        if self.extra_dests:
+            outs = ", ".join(repr(d) for d in [self.dest, *self.extra_dests])
+            lhs = f"[{outs}] = "
+        return f"{lhs}ML_{self.op}({self.args!r})"
+
+
+@dataclass
+class Elementwise(IRStmt):
+    """``dest = <fused elementwise tree>`` — the owner-computes loop."""
+
+    dest: Operand
+    expr: EwExpr
+    vtype: VarType = UNKNOWN
+
+    def __repr__(self) -> str:
+        return f"{self.dest!r} = ew {self.expr!r}"
+
+
+@dataclass
+class Copy(IRStmt):
+    dest: Operand
+    src: Operand
+    vtype: VarType = UNKNOWN
+
+    def __repr__(self) -> str:
+        return f"{self.dest!r} = {self.src!r}"
+
+
+@dataclass
+class SetElement(IRStmt):
+    """Guarded scalar store (pass 5): only the owner executes the write."""
+
+    var: Var
+    subs: list[Operand]
+    rhs: Operand
+    guarded: bool = True
+
+    def __repr__(self) -> str:
+        subs = ", ".join(repr(s) for s in self.subs)
+        return f"{self.var!r}({subs}) = {self.rhs!r} [guarded]"
+
+
+@dataclass
+class IndexAssign(IRStmt):
+    """General (possibly redistributing) indexed store."""
+
+    var: Var
+    subs: list[Operand]
+    rhs: Operand
+
+    def __repr__(self) -> str:
+        subs = ", ".join(repr(s) for s in self.subs)
+        return f"{self.var!r}({subs}) = {self.rhs!r}"
+
+
+@dataclass
+class CallUser(IRStmt):
+    """dests = <user function>(args) — functions are not inlined."""
+
+    dests: list[Operand]
+    func: str
+    args: list[Operand] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        outs = ", ".join(repr(d) for d in self.dests)
+        return f"[{outs}] = {self.func}({self.args!r})"
+
+
+@dataclass
+class Display(IRStmt):
+    """Unsuppressed statement output (``x = ...`` echo)."""
+
+    name: str
+    value: Operand
+
+
+@dataclass
+class IRIf(IRStmt):
+    """Structured if/elseif/else.  Each branch carries the statements that
+    compute its condition (hoisted RT calls) plus the condition operand."""
+
+    branches: list[tuple[list[IRStmt], Operand, list[IRStmt]]] = \
+        field(default_factory=list)
+    orelse: list[IRStmt] = field(default_factory=list)
+
+
+@dataclass
+class IRFor(IRStmt):
+    var: Var = None  # type: ignore[assignment]
+    # Fast path: a range iterable (start, step, stop) of scalar operands.
+    range_triple: Optional[tuple[Operand, Operand, Operand]] = None
+    # General path: statements computing the iterable + its operand.
+    iter_stmts: list[IRStmt] = field(default_factory=list)
+    iter_operand: Optional[Operand] = None
+    body: list[IRStmt] = field(default_factory=list)
+
+
+@dataclass
+class IRWhile(IRStmt):
+    cond_stmts: list[IRStmt] = field(default_factory=list)
+    cond: Operand = None  # type: ignore[assignment]
+    body: list[IRStmt] = field(default_factory=list)
+
+
+@dataclass
+class IRBreak(IRStmt):
+    pass
+
+
+@dataclass
+class IRContinue(IRStmt):
+    pass
+
+
+@dataclass
+class IRReturn(IRStmt):
+    pass
+
+
+@dataclass
+class IRGlobal(IRStmt):
+    names: list[str] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------
+# program units
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class IRFunction:
+    name: str
+    params: list[str] = field(default_factory=list)
+    returns: list[str] = field(default_factory=list)
+    body: list[IRStmt] = field(default_factory=list)
+    var_types: dict[str, VarType] = field(default_factory=dict)
+
+
+@dataclass
+class IRProgram:
+    script_name: str
+    body: list[IRStmt] = field(default_factory=list)
+    functions: dict[str, IRFunction] = field(default_factory=dict)
+    var_types: dict[str, VarType] = field(default_factory=dict)
+
+    def walk(self):
+        """Iterate every statement list in the program (for passes)."""
+        stack = [self.body] + [f.body for f in self.functions.values()]
+        while stack:
+            block = stack.pop()
+            yield block
+            for stmt in block:
+                if isinstance(stmt, IRIf):
+                    for cond_stmts, _cond, branch in stmt.branches:
+                        stack.append(cond_stmts)
+                        stack.append(branch)
+                    stack.append(stmt.orelse)
+                elif isinstance(stmt, IRFor):
+                    stack.append(stmt.iter_stmts)
+                    stack.append(stmt.body)
+                elif isinstance(stmt, IRWhile):
+                    stack.append(stmt.cond_stmts)
+                    stack.append(stmt.body)

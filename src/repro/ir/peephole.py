@@ -1,0 +1,187 @@
+"""Pass 6 — peephole optimization of run-time-call sequences.
+
+"The sixth pass of the compiler performs peephole optimizations, looking
+for ways in which a sequence of run-time library calls can be replaced by
+a single call."  Two rewrites are implemented (both flag-controlled so the
+ablation benchmark can measure their effect):
+
+1. **transpose+multiply fusion** — ``t = transpose(a); c = matmul(t, b)``
+   with ``t`` dead afterwards becomes ``c = matmul_t(a, b)``.  For the
+   ubiquitous ``r' * r`` this turns two library calls (a transpose copy
+   plus a product) into the single ML_dot the paper's run-time provides.
+2. **local CSE** of pure run-time calls — repeated ``ML_broadcast`` of the
+   same element (or repeated ``dim`` queries) within a straight-line block
+   reuse the first temporary instead of re-communicating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .nodes import (
+    Copy,
+    Elementwise,
+    IndexAssign,
+    IRFor,
+    IRIf,
+    IRProgram,
+    IRWhile,
+    RTCall,
+    SetElement,
+    Temp,
+    Var,
+    ew_operands,
+)
+
+#: RT ops that are pure and cheap to CSE within a block
+_CSE_OPS = {"broadcast_element", "dim"}
+#: ops after which a variable's value may change (kills CSE entries)
+_FUSABLE_AFTER_TRANSPOSE = {"matmul"}
+
+
+@dataclass
+class PeepholeStats:
+    transpose_fused: int = 0
+    cse_removed: int = 0
+
+
+def peephole_program(ir: IRProgram, enabled: bool = True) -> PeepholeStats:
+    """Run pass 6 in place; returns rewrite statistics."""
+    stats = PeepholeStats()
+    if not enabled:
+        return stats
+    for block in ir.walk():
+        _fuse_transpose_matmul(block, stats)
+        _local_cse(block, stats)
+    return stats
+
+
+# -------------------------------------------------------------------------- #
+# transpose + matmul fusion
+# -------------------------------------------------------------------------- #
+
+
+def _operands_of(stmt) -> list:
+    if isinstance(stmt, RTCall):
+        flat = []
+        for arg in stmt.args:
+            if isinstance(arg, list):
+                for row in arg:
+                    flat.extend(row if isinstance(row, list) else [row])
+            else:
+                flat.append(arg)
+        return flat
+    if isinstance(stmt, Elementwise):
+        return ew_operands(stmt.expr)
+    if isinstance(stmt, Copy):
+        return [stmt.src]
+    if isinstance(stmt, (SetElement, IndexAssign)):
+        return [*stmt.subs, stmt.rhs, stmt.var]
+    return []
+
+
+def _uses_in_block(block: list, temp: Temp, start: int) -> int:
+    count = 0
+    for stmt in block[start:]:
+        count += sum(1 for op in _operands_of(stmt) if op == temp)
+        for nested in _nested_blocks(stmt):
+            count += _uses_anywhere(nested, temp)
+    return count
+
+
+def _uses_anywhere(block: list, temp: Temp) -> int:
+    count = 0
+    for stmt in block:
+        count += sum(1 for op in _operands_of(stmt) if op == temp)
+        for nested in _nested_blocks(stmt):
+            count += _uses_anywhere(nested, temp)
+    return count
+
+
+def _nested_blocks(stmt):
+    if isinstance(stmt, IRIf):
+        for cond_stmts, _cond, branch in stmt.branches:
+            yield cond_stmts
+            yield branch
+        yield stmt.orelse
+    elif isinstance(stmt, IRFor):
+        yield stmt.iter_stmts
+        yield stmt.body
+    elif isinstance(stmt, IRWhile):
+        yield stmt.cond_stmts
+        yield stmt.body
+
+
+def _fuse_transpose_matmul(block: list, stats: PeepholeStats) -> None:
+    i = 0
+    while i < len(block) - 1:
+        first, second = block[i], block[i + 1]
+        if (isinstance(first, RTCall)
+                and first.op in ("transpose", "transpose_nc")
+                and isinstance(first.dest, Temp)
+                and isinstance(second, RTCall) and second.op == "matmul"
+                and second.args and second.args[0] == first.dest
+                and second.args[1] != first.dest
+                and _uses_in_block(block, first.dest, i + 2) == 0):
+            conj = first.op == "transpose"
+            block[i:i + 2] = [RTCall(
+                dest=second.dest,
+                op="matmul_t" if conj else "matmul_tnc",
+                args=[first.args[0], second.args[1]],
+                vtype=second.vtype,
+                extra_dests=second.extra_dests,
+            )]
+            stats.transpose_fused += 1
+            continue
+        i += 1
+
+
+# -------------------------------------------------------------------------- #
+# local CSE of pure RT calls
+# -------------------------------------------------------------------------- #
+
+
+def _defined_name(stmt):
+    dest = getattr(stmt, "dest", None)
+    if isinstance(dest, Var):
+        return dest.name
+    if isinstance(stmt, (SetElement, IndexAssign)):
+        return stmt.var.name
+    if hasattr(stmt, "dests"):
+        return None  # handled by caller
+    return None
+
+
+def _local_cse(block: list, stats: PeepholeStats) -> None:
+    available: dict[tuple, Temp] = {}
+    i = 0
+    while i < len(block):
+        stmt = block[i]
+        if isinstance(stmt, (IRIf, IRFor, IRWhile)):
+            available.clear()  # control flow: keep it strictly local
+            i += 1
+            continue
+        if (isinstance(stmt, RTCall) and stmt.op in _CSE_OPS
+                and isinstance(stmt.dest, Temp)):
+            key = (stmt.op, tuple(stmt.args))
+            hit = available.get(key)
+            if hit is not None:
+                block[i] = Copy(dest=stmt.dest, src=hit, vtype=stmt.vtype)
+                stats.cse_removed += 1
+                i += 1
+                continue
+            available[key] = stmt.dest
+        # kill entries whose variable operands were just redefined
+        names = set()
+        name = _defined_name(stmt)
+        if name:
+            names.add(name)
+        for dest in getattr(stmt, "dests", []) or []:
+            if isinstance(dest, Var):
+                names.add(dest.name)
+        if names:
+            for key in [k for k in available
+                        if any(isinstance(op, Var) and op.name in names
+                               for op in k[1])]:
+                del available[key]
+        i += 1

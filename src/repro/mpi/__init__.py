@@ -1,0 +1,56 @@
+"""Simulated MPI substrate: communicator, machine models, SPMD executor.
+
+Real data exchange, virtual time — see :mod:`repro.mpi.comm` for the
+design.  The public surface mirrors mpi4py's lowercase API.
+"""
+
+from .comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Comm,
+    LAND,
+    LOR,
+    MAX,
+    MIN,
+    PROD,
+    Request,
+    Status,
+    SUM,
+    World,
+)
+from .datatypes import (
+    BYTE,
+    CHAR,
+    DOUBLE,
+    DOUBLE_COMPLEX,
+    Datatype,
+    FLOAT,
+    INT,
+    LONG,
+    sizeof,
+)
+from .executor import SpmdResult, run_spmd
+from .machine import (
+    CpuModel,
+    Link,
+    MACHINES,
+    MEIKO_CS2,
+    MachineModel,
+    SPARC20_CLUSTER,
+    SUN_ENTERPRISE,
+    get_machine,
+)
+
+__all__ = [
+    "ANY_SOURCE", "ANY_TAG", "Comm", "World", "Request", "Status",
+    "SUM", "PROD", "MAX", "MIN", "LAND", "LOR",
+    "Datatype", "DOUBLE", "FLOAT", "INT", "LONG", "CHAR",
+    "DOUBLE_COMPLEX", "BYTE", "sizeof",
+    "SpmdResult", "run_spmd",
+    "CpuModel", "Link", "MachineModel", "MACHINES",
+    "MEIKO_CS2", "SUN_ENTERPRISE", "SPARC20_CLUSTER", "get_machine",
+]
+
+from .machine import WORKSTATION_MEMORY  # noqa: E402
+
+__all__.append("WORKSTATION_MEMORY")

@@ -1,0 +1,433 @@
+"""Simulated MPI: communicator, point-to-point, and collectives.
+
+Each SPMD rank runs on its own thread (see :mod:`repro.mpi.executor`).
+Data moves through in-process mailboxes and rendezvous slots — real
+values, really exchanged, so compiled programs compute real answers.
+*Time*, however, is virtual: every rank owns a clock, computation charges
+it through the machine's :class:`~repro.mpi.machine.MachineModel`, and
+every communication operation advances/synchronizes clocks according to
+the model's latency/bandwidth/topology.  Reported speedups are ratios of
+virtual times, which is what lets a laptop reproduce the shape of the
+paper's Meiko CS-2 / SMP / Ethernet-cluster results.
+
+The API mirrors mpi4py's lowercase (pickle-object) methods.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from ..errors import MpiError
+from .datatypes import sizeof
+from .machine import MachineModel
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+_WAIT_TIMEOUT = 0.2  # seconds between abort checks while blocked
+
+
+class Status:
+    """Receive status: who sent, with what tag, how many bytes."""
+
+    __slots__ = ("source", "tag", "nbytes")
+
+    def __init__(self, source: int = -1, tag: int = -1, nbytes: int = 0):
+        self.source = source
+        self.tag = tag
+        self.nbytes = nbytes
+
+
+# -- reduction operators ---------------------------------------------------
+
+
+def _op_sum(a, b):
+    return a + b
+
+
+def _op_prod(a, b):
+    return a * b
+
+
+def _op_max(a, b):
+    return np.maximum(a, b) if isinstance(a, np.ndarray) \
+        or isinstance(b, np.ndarray) else max(a, b)
+
+
+def _op_min(a, b):
+    return np.minimum(a, b) if isinstance(a, np.ndarray) \
+        or isinstance(b, np.ndarray) else min(a, b)
+
+
+def _op_land(a, b):
+    return np.logical_and(a, b).astype(float) if isinstance(a, np.ndarray) \
+        else float(bool(a) and bool(b))
+
+
+def _op_lor(a, b):
+    return np.logical_or(a, b).astype(float) if isinstance(a, np.ndarray) \
+        else float(bool(a) or bool(b))
+
+
+SUM: Callable = _op_sum
+PROD: Callable = _op_prod
+MAX: Callable = _op_max
+MIN: Callable = _op_min
+LAND: Callable = _op_land
+LOR: Callable = _op_lor
+
+
+class _Abort(MpiError):
+    """Raised inside blocked ranks when another rank fails."""
+
+
+class World:
+    """Shared state of one SPMD execution."""
+
+    def __init__(self, nprocs: int, machine: MachineModel):
+        if nprocs < 1:
+            raise MpiError("need at least one process")
+        if nprocs > machine.max_cpus:
+            raise MpiError(
+                f"{machine.name} has only {machine.max_cpus} CPUs "
+                f"(asked for {nprocs})")
+        self.nprocs = nprocs
+        self.machine = machine
+        self.clocks = [0.0] * nprocs
+        self.cond = threading.Condition()
+        # (src, dst, tag) -> deque of (payload, arrival_time)
+        self.mailboxes: dict[tuple[int, int, int], deque] = {}
+        self.aborted: Optional[BaseException] = None
+        # collective rendezvous state
+        self._slots: list[Any] = [None] * nprocs
+        self._coll_result: Any = None
+        self._coll_time: float = 0.0
+        self._arrived = 0
+        self._departed = 0
+        self._generation = 0
+        # message statistics (observability / tests)
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.collectives = 0
+        self.collective_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def abort(self, exc: BaseException) -> None:
+        with self.cond:
+            if self.aborted is None:
+                self.aborted = exc
+            self.cond.notify_all()
+
+    def _check_abort(self) -> None:
+        if self.aborted is not None:
+            raise _Abort(f"peer rank failed: {self.aborted!r}")
+
+    # ------------------------------------------------------------------ #
+    # rendezvous: every rank calls sync(contribute, combine);
+    # `combine(slots, tmax)` runs on exactly one rank and returns the
+    # (shared result, new common clock).
+    # ------------------------------------------------------------------ #
+
+    def count_collective(self, op: str) -> None:
+        with self.cond:
+            self.collective_counts[op] = \
+                self.collective_counts.get(op, 0) + 1
+
+    def sync(self, rank: int, contribution: Any,
+             combine: Callable[[list, float], tuple[Any, float]]):
+        with self.cond:
+            self._check_abort()
+            generation = self._generation
+            self._slots[rank] = contribution
+            self._arrived += 1
+            if self._arrived == self.nprocs:
+                tmax = max(self.clocks)
+                result, tnew = combine(list(self._slots), tmax)
+                self._coll_result = result
+                self._coll_time = tnew
+                self._arrived = 0
+                self._generation += 1
+                self.collectives += 1
+                self.cond.notify_all()
+            else:
+                while (self._generation == generation
+                       and self.aborted is None):
+                    self.cond.wait(_WAIT_TIMEOUT)
+                self._check_abort()
+            result = self._coll_result
+            self.clocks[rank] = max(self.clocks[rank], self._coll_time)
+            self._departed += 1
+            if self._departed == self.nprocs:
+                self._departed = 0
+                self._slots = [None] * self.nprocs
+                self.cond.notify_all()
+            else:
+                # hold the next collective until everyone has read
+                while self._departed != 0 and self.aborted is None:
+                    self.cond.wait(_WAIT_TIMEOUT)
+                self._check_abort()
+            return result
+
+
+class Request:
+    """Handle for a nonblocking operation."""
+
+    def __init__(self, wait_fn: Callable[[], Any]):
+        self._wait_fn = wait_fn
+        self._done = False
+        self._value: Any = None
+
+    def wait(self) -> Any:
+        if not self._done:
+            self._value = self._wait_fn()
+            self._done = True
+        return self._value
+
+    def test(self) -> bool:
+        return self._done
+
+
+class Comm:
+    """One rank's view of the communicator (mpi4py-style lowercase API)."""
+
+    def __init__(self, world: World, rank: int):
+        self.world = world
+        self.rank = rank
+        self.size = world.nprocs
+        self.machine = world.machine
+
+    # -- virtual time --------------------------------------------------- #
+
+    @property
+    def time(self) -> float:
+        return self.world.clocks[self.rank]
+
+    def advance(self, dt: float) -> None:
+        if dt < 0:
+            raise MpiError("cannot advance the clock backwards")
+        self.world.clocks[self.rank] += dt
+
+    def compute(self, flops: int = 0, elems: int = 0, mem: int = 0) -> None:
+        """Charge local computation to this rank's clock."""
+        self.advance(self.machine.compute_time(
+            flops=flops, elems=elems, mem=mem, active_cpus=self.size))
+
+    def overhead(self, calls: int = 1) -> None:
+        """Charge run-time-library call overhead."""
+        self.advance(calls * self.machine.cpu.call_overhead)
+
+    # -- point-to-point -------------------------------------------------- #
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if not (0 <= dest < self.size):
+            raise MpiError(f"invalid destination rank {dest}")
+        if dest == self.rank:
+            raise MpiError("send to self would deadlock; use sendrecv")
+        nbytes = sizeof(obj)
+        world = self.world
+        with world.cond:
+            world._check_abort()
+            t_send = world.clocks[self.rank]
+            arrival = t_send + self.machine.p2p_time(self.rank, dest, nbytes)
+            # buffered send: sender is occupied for the injection overhead
+            world.clocks[self.rank] = t_send + \
+                self.machine.link_between(self.rank, dest).latency * 0.5
+            key = (self.rank, dest, tag)
+            world.mailboxes.setdefault(key, deque()).append((obj, arrival))
+            world.messages_sent += 1
+            world.bytes_sent += nbytes
+            world.cond.notify_all()
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             status: Optional[Status] = None) -> Any:
+        world = self.world
+        with world.cond:
+            while True:
+                world._check_abort()
+                key = self._find_message(source, tag)
+                if key is not None:
+                    obj, arrival = world.mailboxes[key].popleft()
+                    if not world.mailboxes[key]:
+                        del world.mailboxes[key]
+                    me = world.clocks[self.rank]
+                    world.clocks[self.rank] = max(me, arrival)
+                    if status is not None:
+                        status.source, status.tag = key[0], key[2]
+                        status.nbytes = sizeof(obj)
+                    return obj
+                world.cond.wait(_WAIT_TIMEOUT)
+
+    def _find_message(self, source: int, tag: int):
+        for key in self.world.mailboxes:
+            src, dst, mtag = key
+            if dst != self.rank:
+                continue
+            if source != ANY_SOURCE and src != source:
+                continue
+            if tag != ANY_TAG and mtag != tag:
+                continue
+            if self.world.mailboxes[key]:
+                return key
+        return None
+
+    def sendrecv(self, obj: Any, dest: int, sendtag: int = 0,
+                 source: int = ANY_SOURCE, recvtag: int = ANY_TAG) -> Any:
+        if dest == self.rank and (source in (ANY_SOURCE, self.rank)):
+            return obj  # self-exchange: no wire traffic
+        request = self.isend(obj, dest, sendtag)
+        received = self.recv(source, recvtag)
+        request.wait()
+        return received
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        self.send(obj, dest, tag)  # buffered: completes immediately
+        request = Request(lambda: None)
+        request.wait()
+        return request
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        return Request(lambda: self.recv(source, tag))
+
+    # -- collectives ------------------------------------------------------ #
+
+    def barrier(self) -> None:
+        if self.rank == 0:
+            self.world.count_collective('barrier')
+        cost = self.machine.collective_time("barrier", 0, self.size)
+
+        def combine(slots, tmax):
+            return None, tmax + cost
+
+        self.world.sync(self.rank, None, combine)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        if self.rank == 0:
+            self.world.count_collective('bcast')
+        if not (0 <= root < self.size):
+            raise MpiError(f"invalid root {root}")
+        if self.size == 1:
+            return obj
+        machine = self.machine
+        size = self.size
+
+        def combine(slots, tmax):
+            payload = slots[root]
+            cost = machine.collective_time("bcast", sizeof(payload), size)
+            return payload, tmax + cost
+
+        return self.world.sync(self.rank, obj if self.rank == root else None,
+                               combine)
+
+    def reduce(self, obj: Any, op: Callable = SUM, root: int = 0) -> Any:
+        result = self._reduce_impl(obj, op, "reduce")
+        return result if self.rank == root else None
+
+    def allreduce(self, obj: Any, op: Callable = SUM) -> Any:
+        return self._reduce_impl(obj, op, "allreduce")
+
+    def _reduce_impl(self, obj: Any, op: Callable, kind: str) -> Any:
+        if self.rank == 0:
+            self.world.count_collective(kind)
+        if self.size == 1:
+            return obj
+        machine = self.machine
+        size = self.size
+
+        def combine(slots, tmax):
+            acc = slots[0]
+            for item in slots[1:]:
+                acc = op(acc, item)
+            cost = machine.collective_time(kind, sizeof(obj), size)
+            # reduction arithmetic itself: log2(P) combining steps
+            elems = sizeof(obj) / 8.0
+            cost += int(np.ceil(np.log2(size))) * elems * machine.cpu.elem_time
+            return acc, tmax + cost
+
+        return self.world.sync(self.rank, obj, combine)
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[list]:
+        if self.rank == 0:
+            self.world.count_collective('gather')
+        machine = self.machine
+        size = self.size
+
+        def combine(slots, tmax):
+            cost = machine.collective_time("gather", sizeof(obj), size)
+            return list(slots), tmax + cost
+
+        result = self.world.sync(self.rank, obj, combine)
+        return result if self.rank == root else None
+
+    def allgather(self, obj: Any) -> list:
+        if self.rank == 0:
+            self.world.count_collective('allgather')
+        machine = self.machine
+        size = self.size
+
+        def combine(slots, tmax):
+            cost = machine.collective_time("allgather", sizeof(obj), size)
+            return list(slots), tmax + cost
+
+        return self.world.sync(self.rank, obj, combine)
+
+    def scatter(self, objs: Optional[list], root: int = 0) -> Any:
+        if self.rank == 0:
+            self.world.count_collective('scatter')
+        machine = self.machine
+        size = self.size
+        if self.rank == root:
+            if objs is None or len(objs) != size:
+                raise MpiError("scatter: root must supply one item per rank")
+
+        def combine(slots, tmax):
+            items = slots[root]
+            per = sizeof(items[0]) if items else 0
+            cost = machine.collective_time("scatter", per, size)
+            return items, tmax + cost
+
+        items = self.world.sync(self.rank,
+                                objs if self.rank == root else None, combine)
+        return items[self.rank]
+
+    def alltoall(self, objs: list) -> list:
+        if self.rank == 0:
+            self.world.count_collective('alltoall')
+        if len(objs) != self.size:
+            raise MpiError("alltoall: need one item per rank")
+        machine = self.machine
+        size = self.size
+
+        def combine(slots, tmax):
+            per = max((sizeof(row[0]) if row else 0) for row in slots)
+            cost = machine.collective_time("alltoall", per, size)
+            transposed = [[slots[src][dst] for src in range(size)]
+                          for dst in range(size)]
+            return transposed, tmax + cost
+
+        result = self.world.sync(self.rank, objs, combine)
+        return result[self.rank]
+
+    def scan(self, obj: Any, op: Callable = SUM) -> Any:
+        if self.rank == 0:
+            self.world.count_collective('scan')
+        """Inclusive prefix reduction."""
+        machine = self.machine
+        size = self.size
+        rank = self.rank
+
+        def combine(slots, tmax):
+            prefixes = []
+            acc = None
+            for item in slots:
+                acc = item if acc is None else op(acc, item)
+                prefixes.append(acc)
+            cost = machine.collective_time("allreduce", sizeof(obj), size)
+            return prefixes, tmax + cost
+
+        result = self.world.sync(self.rank, obj, combine)
+        return result[rank]

@@ -1,0 +1,45 @@
+"""MPI datatypes (sizes drive the communication cost model)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Datatype:
+    name: str
+    size: int  # bytes per element
+    np_dtype: object
+
+    def __repr__(self) -> str:
+        return f"MPI.{self.name}"
+
+
+DOUBLE = Datatype("DOUBLE", 8, np.float64)
+FLOAT = Datatype("FLOAT", 4, np.float32)
+INT = Datatype("INT", 4, np.int32)
+LONG = Datatype("LONG", 8, np.int64)
+CHAR = Datatype("CHAR", 1, np.int8)
+DOUBLE_COMPLEX = Datatype("DOUBLE_COMPLEX", 16, np.complex128)
+BYTE = Datatype("BYTE", 1, np.uint8)
+
+
+def sizeof(obj) -> int:
+    """Approximate wire size in bytes of a message payload."""
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (float, int)):
+        return 8
+    if isinstance(obj, complex):
+        return 16
+    if isinstance(obj, str):
+        return len(obj)
+    if isinstance(obj, (tuple, list)):
+        return sum(sizeof(x) for x in obj) + 8
+    if isinstance(obj, dict):
+        return sum(sizeof(k) + sizeof(v) for k, v in obj.items()) + 8
+    return 64  # opaque object: header-sized guess

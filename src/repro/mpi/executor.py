@@ -1,0 +1,83 @@
+"""SPMD launcher for the simulated MPI layer.
+
+``run_spmd`` starts one thread per rank, hands each a
+:class:`~repro.mpi.comm.Comm`, and collects results, per-rank virtual
+times, and any exception.  A failure on one rank aborts the world so peers
+blocked in ``recv``/collectives unwind instead of deadlocking.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import MpiError
+from .comm import Comm, World, _Abort
+from .machine import MachineModel
+
+
+@dataclass
+class SpmdResult:
+    """Outcome of one SPMD execution."""
+
+    results: list[Any]
+    times: list[float]            # final virtual clock per rank
+    machine: MachineModel
+    nprocs: int
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    collectives: int = 0
+    collective_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def elapsed(self) -> float:
+        """Virtual wall-clock of the run: the slowest rank."""
+        return max(self.times) if self.times else 0.0
+
+
+def run_spmd(nprocs: int, machine: MachineModel,
+             fn: Callable[..., Any], *args: Any, **kwargs: Any) -> SpmdResult:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` simulated ranks."""
+    world = World(nprocs, machine)
+    results: list[Any] = [None] * nprocs
+    errors: list[tuple[int, BaseException]] = []
+    lock = threading.Lock()
+
+    def worker(rank: int) -> None:
+        comm = Comm(world, rank)
+        try:
+            results[rank] = fn(comm, *args, **kwargs)
+        except _Abort:
+            pass  # a peer failed; its error is the one to report
+        except BaseException as exc:  # noqa: BLE001 - must not deadlock
+            with lock:
+                errors.append((rank, exc))
+            world.abort(exc)
+
+    if nprocs == 1:
+        # fast path: no threads needed
+        worker(0)
+    else:
+        threads = [threading.Thread(target=worker, args=(rank,),
+                                    name=f"spmd-rank-{rank}", daemon=True)
+                   for rank in range(nprocs)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    if errors:
+        rank, exc = min(errors, key=lambda pair: pair[0])
+        raise MpiError(f"rank {rank} failed: {exc}") from exc
+
+    return SpmdResult(
+        results=results,
+        times=list(world.clocks),
+        machine=machine,
+        nprocs=nprocs,
+        messages_sent=world.messages_sent,
+        bytes_sent=world.bytes_sent,
+        collectives=world.collectives,
+        collective_counts=dict(world.collective_counts),
+    )

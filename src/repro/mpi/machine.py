@@ -1,0 +1,249 @@
+"""Performance models of the paper's three target architectures.
+
+The paper benchmarks on: a 16-CPU Meiko CS-2 (distributed-memory
+multicomputer), an 8-CPU Sun Enterprise SMP, and a cluster of four 4-CPU
+Sun SPARCserver-20s on Ethernet.  We cannot have the hardware, so each is
+modeled by:
+
+* a :class:`CpuModel` — per-flop / per-element costs of the compiled
+  run-time library on one CPU (plus interpreter-degradation factors used
+  by :mod:`repro.interp.costmodel`);
+* a link model — latency/bandwidth per rank pair, *hierarchical* for the
+  SMP cluster (fast inside a 4-CPU node, 10 Mb/s shared Ethernet across);
+* contention hooks — SMP memory-bus pressure and Ethernet's shared
+  medium, which are precisely what flatten the cluster's speedup curves
+  beyond one SMP in Figures 3-6.
+
+Absolute constants are era-plausible (UltraSPARC/SuperSPARC-class CPUs,
+microsecond SMP latencies, ~1 ms Ethernet RTTs); the reproduction targets
+curve *shapes*, not the authors' exact wall clocks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from ..interp.costmodel import InterpCostParams
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """Single-CPU cost of compiled (C-like) code."""
+
+    flop_time: float      # s per flop in dense kernels (matmul, matvec)
+    elem_time: float      # s per element per fused elementwise op
+    mem_time: float       # s per element of memory traffic (copies, temps)
+    call_overhead: float  # s per run-time-library call (MATRIX bookkeeping)
+    # Interpreter degradation factors (The MathWorks interpreter, 1997)
+    interp_elem_factor: float = 2.5
+    interp_flop_factor: float = 4.5
+    interp_op_overhead: float = 8.0e-5
+    interp_stmt_dispatch: float = 1.2e-5
+    interp_index_time: float = 4.0e-6
+
+    def interpreter_params(self) -> InterpCostParams:
+        return InterpCostParams(
+            stmt_dispatch=self.interp_stmt_dispatch,
+            op_overhead=self.interp_op_overhead,
+            elem_time=self.elem_time * self.interp_elem_factor,
+            flop_time=self.flop_time * self.interp_flop_factor,
+            mem_time=self.mem_time * 2.0,
+            index_time=self.interp_index_time,
+        )
+
+
+@dataclass(frozen=True)
+class Link:
+    latency: float    # seconds, one message
+    bandwidth: float  # bytes/second
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Topology + cost model for one parallel architecture."""
+
+    name: str
+    max_cpus: int
+    cpu: CpuModel
+    intra_link: Link                  # within one node (or the only link)
+    inter_link: Link | None = None    # across nodes (None: flat machine)
+    cpus_per_node: int = 0            # 0 means all CPUs in one "node"
+    # SMP memory-bus contention: memory-bound work is scaled by
+    # 1 + alpha*(p_active - 1) on a shared bus.
+    bus_contention: float = 0.0
+    # Shared-medium network (Ethernet): concurrent inter-node transfers
+    # divide the wire; True divides bandwidth by the number of
+    # simultaneously communicating node pairs.
+    shared_medium: bool = False
+    # Primary memory available to one CPU's share of the data (bytes);
+    # era-plausible 1997 values.  Backs the paper's Section 7 claim that
+    # parallel machines solve problems no single workstation can hold.
+    memory_per_cpu: int = 128 * 1024 * 1024
+
+    # -- topology ------------------------------------------------------- #
+
+    def node_of(self, rank: int) -> int:
+        if self.cpus_per_node <= 0:
+            return 0
+        return rank // self.cpus_per_node
+
+    def link_between(self, a: int, b: int) -> Link:
+        if self.inter_link is not None and self.node_of(a) != self.node_of(b):
+            return self.inter_link
+        return self.intra_link
+
+    def spans_nodes(self, nprocs: int) -> bool:
+        return (self.inter_link is not None and self.cpus_per_node > 0
+                and nprocs > self.cpus_per_node)
+
+    # -- compute -------------------------------------------------------- #
+
+    def memory_scale(self, active_cpus: int) -> float:
+        """Slowdown of memory-bound work when ``active_cpus`` share a bus."""
+        if self.bus_contention <= 0.0 or self.cpus_per_node <= 0:
+            sharing = active_cpus if self.inter_link is None else 1
+        else:
+            sharing = min(active_cpus, self.cpus_per_node)
+        if self.inter_link is None and self.cpus_per_node <= 0:
+            sharing = active_cpus
+        return 1.0 + self.bus_contention * max(sharing - 1, 0)
+
+    def compute_time(self, flops: int = 0, elems: int = 0, mem: int = 0,
+                     active_cpus: int = 1) -> float:
+        scale = self.memory_scale(active_cpus)
+        return (flops * self.cpu.flop_time
+                + elems * self.cpu.elem_time * scale
+                + mem * self.cpu.mem_time * scale)
+
+    # -- communication -------------------------------------------------- #
+
+    def p2p_time(self, src: int, dst: int, nbytes: int,
+                 concurrent_inter: int = 1) -> float:
+        link = self.link_between(src, dst)
+        bandwidth = link.bandwidth
+        if (self.shared_medium and self.inter_link is not None
+                and link is self.inter_link and concurrent_inter > 1):
+            bandwidth = bandwidth / concurrent_inter
+        return link.latency + nbytes / bandwidth
+
+    def collective_time(self, op: str, nbytes: int, nprocs: int) -> float:
+        """Cost of one collective over ``nprocs`` ranks moving ``nbytes``
+        per rank (for gather-like ops: per-rank contribution).
+
+        Flat machines use binomial trees (bcast/reduce) and rings
+        (gather-family).  Hierarchical machines (the SMP cluster) use
+        two-level MagPIe-style collectives: full speed inside each node,
+        then one representative per node across the (shared) Ethernet —
+        which is exactly why the paper's cluster curves flatten past the
+        four CPUs of a single SMP instead of collapsing.
+        """
+        if nprocs <= 1:
+            return 0.0
+        if not self.spans_nodes(nprocs):
+            return self._flat_collective(op, nbytes,
+                                         nprocs, self.intra_link, 1.0)
+        assert self.inter_link is not None and self.cpus_per_node > 0
+        nodes = math.ceil(nprocs / self.cpus_per_node)
+        per_node = min(self.cpus_per_node, nprocs)
+        # shared medium: concurrent inter-node transfers in one tree/ring
+        # stage serialize on the single wire
+        contention = float(max(nodes - 1, 1)) if self.shared_medium else 1.0
+        intra = self._flat_collective(op, nbytes, per_node, self.intra_link,
+                                      1.0)
+        # One representative per node goes across the wire.  Gather-family
+        # ops carry the node's aggregated contribution; bcast/reduce move
+        # the same payload at every level.
+        aggregated = op in ("gather", "scatter", "allgather", "alltoall")
+        inter_bytes = nbytes * per_node if aggregated else nbytes
+        inter = self._flat_collective(op, inter_bytes, nodes,
+                                      self.inter_link, contention)
+        return intra + inter
+
+    def _flat_collective(self, op: str, nbytes: int, nprocs: int,
+                         link: Link, contention: float) -> float:
+        if nprocs <= 1:
+            return 0.0
+        bandwidth = link.bandwidth / contention
+        stages = math.ceil(math.log2(nprocs))
+        per_msg = link.latency + nbytes / bandwidth
+        if op in ("bcast", "reduce"):
+            return stages * per_msg
+        if op == "allreduce":
+            return 2 * stages * per_msg if nbytes > 0 else stages * link.latency
+        if op == "barrier":
+            return 2 * stages * link.latency
+        if op in ("gather", "scatter", "allgather", "alltoall"):
+            # ring / sequential-root algorithms: (P-1) messages of the
+            # per-rank contribution
+            return (nprocs - 1) * per_msg
+        raise ValueError(f"unknown collective {op!r}")
+
+
+# --------------------------------------------------------------------------
+# the three machines
+# --------------------------------------------------------------------------
+
+# Reference CPU (the paper's sequential baseline is "a single UltraSPARC
+# CPU"): ~65 Mflop/s compiled dense kernels, ~30 M elements/s streaming.
+_ULTRASPARC = CpuModel(
+    flop_time=1.0 / 65e6,
+    elem_time=1.0 / 30e6,
+    mem_time=1.0 / 55e6,
+    call_overhead=4.0e-6,
+)
+
+MEIKO_CS2 = MachineModel(
+    name="Meiko CS-2",
+    max_cpus=16,
+    cpu=_ULTRASPARC,
+    # Elan/Elite fat-tree: low latency, high bandwidth, full bisection —
+    # "the best balance between processor speed, message latency, and
+    # aggregate message-passing bandwidth" (paper, Section 6).
+    intra_link=Link(latency=8.0e-5, bandwidth=5.0e7),
+    memory_per_cpu=64 * 1024 * 1024,   # 64 MB per CS-2 node
+)
+
+SUN_ENTERPRISE = MachineModel(
+    name="Sun Enterprise 4000",
+    max_cpus=8,
+    cpu=replace(_ULTRASPARC, flop_time=1.0 / 70e6),
+    # Message passing through shared memory: microsecond latency, memcpy
+    # bandwidth — but every CPU shares one Gigaplane memory bus.
+    intra_link=Link(latency=2.5e-6, bandwidth=1.5e8),
+    cpus_per_node=0,
+    bus_contention=0.13,
+    memory_per_cpu=128 * 1024 * 1024,  # 1 GB Gigaplane / 8 CPUs
+)
+
+SPARC20_CLUSTER = MachineModel(
+    name="SPARCserver-20 cluster",
+    max_cpus=16,
+    cpu=replace(_ULTRASPARC, flop_time=1.0 / 40e6, elem_time=1.0 / 22e6),
+    # four 4-CPU SMP nodes; 10 Mb/s shared Ethernet between nodes
+    intra_link=Link(latency=4.0e-6, bandwidth=1.0e8),
+    inter_link=Link(latency=9.0e-4, bandwidth=1.05e6),
+    cpus_per_node=4,
+    bus_contention=0.05,
+    shared_medium=True,
+    memory_per_cpu=32 * 1024 * 1024,   # 128 MB SPARCserver-20 / 4 CPUs
+)
+
+#: a well-equipped 1997 scientist's workstation (the paper's comparison
+#: point for the memory argument)
+WORKSTATION_MEMORY = 128 * 1024 * 1024
+
+MACHINES: dict[str, MachineModel] = {
+    "meiko": MEIKO_CS2,
+    "enterprise": SUN_ENTERPRISE,
+    "cluster": SPARC20_CLUSTER,
+}
+
+
+def get_machine(name: str) -> MachineModel:
+    try:
+        return MACHINES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r}; choose from {sorted(MACHINES)}"
+        ) from None

@@ -1,0 +1,14 @@
+"""The Otter run-time library: distributed MATRIX values and the ML_* ops
+layered on the simulated MPI substrate."""
+
+from .builtins import SUPPORTED, call_builtin
+from .context import COLON, RuntimeContext
+from .distribution import BlockMap, CyclicMap
+from .matrix import DMatrix, is_distributed
+
+__all__ = [
+    "SUPPORTED", "call_builtin",
+    "COLON", "RuntimeContext",
+    "BlockMap", "CyclicMap",
+    "DMatrix", "is_distributed",
+]

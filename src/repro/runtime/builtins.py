@@ -1,0 +1,243 @@
+"""Distributed implementations of the MATLAB builtins.
+
+``call_builtin(rt, name, args, nargout)`` dispatches every name in
+:mod:`repro.analysis.builtin_sigs` to its parallel implementation; a test
+keeps the three tables (signatures / interpreter / run-time) in sync.
+Elementwise builtins reuse the interpreter's numpy kernels, applied to
+local blocks through :meth:`RuntimeContext.ew` so they are charged as one
+fused owner-computes loop.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import MatlabRuntimeError
+from ..interp import values as V
+from ..interp.builtins import _EW_FUNCS
+from .matrix import DMatrix, RValue
+from . import linalg, reductions, structural
+
+_CONSTANTS = {
+    "pi": math.pi,
+    "eps": float(np.finfo(float).eps),
+    "inf": math.inf, "Inf": math.inf,
+    "nan": math.nan, "NaN": math.nan,
+    "realmax": float(np.finfo(float).max),
+    "realmin": float(np.finfo(float).tiny),
+    "i": complex(0, 1), "j": complex(0, 1),
+}
+
+_EW_BINARY = {
+    "mod": lambda a, b: np.mod(a, b),
+    "rem": lambda a, b: np.fmod(a, b),
+    "atan2": np.arctan2,
+    "hypot": np.hypot,
+    "power": lambda a, b: a ** b,
+}
+
+
+def call_builtin(rt, name: str, args: list[RValue], nargout: int = 1):
+    """Invoke builtin ``name`` on the distributed runtime."""
+    if name in _CONSTANTS:
+        return _CONSTANTS[name]
+    if name in _EW_FUNCS:
+        return rt.ew(_EW_FUNCS[name], 1, args[0])
+    if name in _EW_BINARY:
+        return rt.ew(_EW_BINARY[name], 1, args[0], args[1])
+
+    if name == "zeros":
+        return rt.zeros(*args)
+    if name == "ones":
+        return rt.ones(*args)
+    if name == "eye":
+        return rt.eye(*args)
+    if name in ("rand", "randn"):
+        if args and isinstance(args[0], str):
+            if args[0] != "seed" or len(args) != 2:
+                raise MatlabRuntimeError(f"{name}: unsupported string argument")
+            rt.reseed(rt.int_scalar(args[1], "seed"))
+            return None
+        return rt.rand(*args) if name == "rand" else rt.randn(*args)
+    if name == "linspace":
+        return rt.linspace(*args)
+
+    if name in ("sum", "prod"):
+        dim = rt.int_scalar(args[1], "dim") if len(args) == 2 else None
+        return reductions.reduce_op(rt, name, args[0], dim=dim)
+    if name == "mean":
+        dim = rt.int_scalar(args[1], "dim") if len(args) == 2 else None
+        return reductions.mean(rt, args[0], dim=dim)
+    if name in ("std", "var"):
+        return reductions.std_var(rt, name, args[0])
+    if name == "median":
+        return reductions.median(rt, args[0])
+    if name == "find":
+        return reductions.find(rt, args[0])
+    if name in ("all", "any"):
+        return reductions.all_any(rt, name, args[0])
+    if name in ("max", "min"):
+        if len(args) == 2:
+            fn = np.maximum if name == "max" else np.minimum
+            return rt.ew(fn, 1, args[0], args[1])
+        if nargout >= 2:
+            return reductions.minmax_with_index(rt, name, args[0])
+        return reductions.reduce_op(rt, name, args[0])
+    if name == "norm":
+        return reductions.norm(rt, args[0], args[1] if len(args) > 1 else None)
+    if name == "trapz":
+        if len(args) == 1:
+            return reductions.trapz(rt, None, args[0])
+        return reductions.trapz(rt, args[0], args[1])
+    if name == "trapz2":
+        return reductions.trapz2(rt, *args)
+    if name in ("cumsum", "cumprod"):
+        return reductions.cumulative(rt, name, args[0])
+    if name == "dot":
+        a, b = args
+        ra, ca = rt.shape_of(a)
+        rb, cb = rt.shape_of(b)
+        if ra * ca != rb * cb:
+            raise MatlabRuntimeError("dot: vectors must be the same length")
+        row = a if ra == 1 else linalg.transpose(rt, a, conjugate=True)
+        col = b if cb == 1 else linalg.transpose(rt, b, conjugate=False)
+        return linalg.dot(rt, row, col)
+
+    if name == "size":
+        r, c = rt.shape_of(args[0])
+        if len(args) == 2:
+            dim = rt.int_scalar(args[1], "size")
+            return float(r) if dim == 1 else (float(c) if dim == 2 else 1.0)
+        if nargout >= 2:
+            return (float(r), float(c))
+        return rt.from_literal([[float(r), float(c)]])
+    if name == "length":
+        r, c = rt.shape_of(args[0])
+        return float(max(r, c)) if r * c else 0.0
+    if name == "numel":
+        r, c = rt.shape_of(args[0])
+        return float(r * c)
+    if name == "isempty":
+        r, c = rt.shape_of(args[0])
+        return 1.0 if r * c == 0 else 0.0
+    if name == "isreal":
+        if isinstance(args[0], str):
+            return 1.0
+        if isinstance(args[0], DMatrix):
+            return 0.0 if np.iscomplexobj(args[0].local) else 1.0
+        return 0.0 if isinstance(args[0], complex) or \
+            np.iscomplexobj(V.as_matrix(args[0])) else 1.0
+    if name == "isscalar":
+        r, c = rt.shape_of(args[0])
+        return 1.0 if r * c == 1 else 0.0
+
+    if name == "reshape":
+        return structural.reshape(rt, args[0], args[1], args[2])
+    if name == "repmat":
+        return structural.repmat(rt, args[0], args[1], args[2])
+    if name == "circshift":
+        return structural.circshift(rt, args[0], args[1])
+    if name == "fliplr":
+        return structural.flip(rt, args[0], axis=1)
+    if name == "flipud":
+        return structural.flip(rt, args[0], axis=0)
+    if name == "tril":
+        return structural.triangle(rt, args[0],
+                                   args[1] if len(args) > 1 else None,
+                                   lower=True)
+    if name == "triu":
+        return structural.triangle(rt, args[0],
+                                   args[1] if len(args) > 1 else None,
+                                   lower=False)
+    if name == "diag":
+        return structural.diag(rt, args[0])
+    if name == "transpose":
+        return linalg.transpose(rt, args[0], conjugate=False)
+    if name == "ctranspose":
+        return linalg.transpose(rt, args[0], conjugate=True)
+    if name == "sort":
+        return structural.sort(rt, args[0])
+
+    if name == "inv":
+        shape = rt.shape_of(args[0])
+        if shape[0] != shape[1]:
+            raise MatlabRuntimeError("inv: matrix must be square")
+        return linalg.solve(rt, args[0],
+                            rt.eye(float(shape[0]), float(shape[0])),
+                            left=True)
+    if name == "det":
+        full = rt.gather_full(args[0]) if isinstance(args[0], DMatrix) \
+            else V.as_matrix(args[0])
+        if full.shape[0] != full.shape[1]:
+            raise MatlabRuntimeError("det: matrix must be square")
+        rt.comm.compute(flops=2 * full.shape[0] ** 3 // 3)
+        return V.simplify(np.asarray(np.linalg.det(full)).reshape(1, 1))
+    if name == "trace":
+        d = structural.diag(rt, args[0])
+        return reductions.reduce_op(rt, "sum", d)
+    if name == "sprintf":
+        from ..interp.builtins import sprintf_cycle
+
+        fmt = args[0]
+        if not isinstance(fmt, str):
+            raise MatlabRuntimeError(
+                "sprintf: first argument must be a format")
+        values: list = []
+        for a in args[1:]:
+            rep = rt.to_interp_value(a)
+            if isinstance(rep, str):
+                values.append(rep)
+            else:
+                values.extend(V.as_matrix(rep).reshape(-1, order="F")
+                              .tolist())
+        return sprintf_cycle(fmt, values)
+    if name in ("num2str", "int2str"):
+        from ..interp.builtins import TABLE as _ITABLE
+        from ..interp.costmodel import NULL_METER
+
+        class _Shim:
+            meter = NULL_METER
+
+        rep = [rt.to_interp_value(a) for a in args]
+        return _ITABLE[name](_Shim(), rep, nargout)
+    if name == "disp":
+        rt.disp(args[0])
+        return None
+    if name == "fprintf":
+        rt.fprintf(args[0], *args[1:])
+        return None
+    if name == "error":
+        rt.error(args[0], *args[1:])
+        return None
+    if name == "load":
+        return rt.load(args[0])
+    if name == "save":
+        rt.save(args[0], *args[1:])
+        return None
+    if name == "tic":
+        rt.tic()
+        return None
+    if name == "toc":
+        return rt.toc()
+    if name == "double":
+        return args[0]
+
+    raise MatlabRuntimeError(
+        f"builtin {name!r} has no distributed implementation")
+
+
+#: names handled by this dispatcher (kept in sync with the signature
+#: registry by a test)
+SUPPORTED = (set(_CONSTANTS) | set(_EW_FUNCS) | set(_EW_BINARY) | {
+    "zeros", "ones", "eye", "rand", "randn", "linspace",
+    "sum", "prod", "mean", "std", "var", "median", "find",
+    "all", "any", "max", "min", "norm",
+    "trapz", "trapz2", "cumsum", "cumprod", "dot",
+    "size", "length", "numel", "isempty", "isreal", "isscalar",
+    "reshape", "repmat", "circshift", "fliplr", "flipud",
+    "tril", "triu", "diag", "transpose", "ctranspose", "sort",
+    "disp", "fprintf", "error", "load", "save", "tic", "toc", "double",
+    "inv", "det", "trace", "sprintf", "num2str", "int2str",
+})

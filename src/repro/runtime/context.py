@@ -1,0 +1,619 @@
+"""The run-time library context (the ``ML_*`` functions of the paper).
+
+Compiled programs receive one :class:`RuntimeContext` per rank and drive
+everything through it: matrix allocation/distribution, elementwise
+owner-computes kernels, communication-requiring operations (delegated to
+:mod:`repro.runtime.linalg` / ``reductions`` / ``structural``), and
+coordinated I/O ("one processor coordinates all I/O operations").
+
+Values at run time:
+
+* replicated scalars — plain Python ``float``/``complex``
+* distributed matrices/vectors — :class:`~repro.runtime.matrix.DMatrix`
+* strings — Python ``str`` (replicated)
+
+Every operation charges virtual time through the communicator: local work
+via ``comm.compute``, library-call bookkeeping via ``comm.overhead``, and
+communication implicitly via the collectives used.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import MatlabRuntimeError
+from ..interp import values as V
+from ..mpi.comm import Comm
+from .matrix import DMatrix, RValue
+from .memory import MemoryTracker, install_tracker
+
+COLON = V.COLON
+
+
+class RuntimeContext:
+    """Per-rank handle to the distributed run-time library."""
+
+    def __init__(self, comm: Comm, out: Optional[Callable[[str], None]] = None,
+                 seed: int = 0, scheme: str = "block", provider=None,
+                 cache_gathers: bool = False):
+        self.comm = comm
+        self.rank = comm.rank
+        self.size = comm.size
+        self.scheme = scheme
+        self.provider = provider
+        #: replicate-on-first-use: memoize gathered full arrays on the
+        #: (immutable) DMatrix so repeated gathers of the same value cost
+        #: one allgather.  Off by default — the paper's run-time library
+        #: re-gathers, and the figure calibration assumes that; the
+        #: ablation benchmark measures the difference.
+        self.cache_gathers = cache_gathers
+        self._out = out or (lambda text: None)
+        self.rng = np.random.default_rng(seed)
+        self._seed = seed
+        self.saved: dict[str, object] = {}
+        self.globals: dict[str, object] = {}
+        self.tic_time = 0.0
+        # per-rank local-memory high-water mark (paper Section 7 claim)
+        self.memory = MemoryTracker()
+        install_tracker(self.memory)
+
+    # ------------------------------------------------------------------ #
+    # small helpers
+    # ------------------------------------------------------------------ #
+
+    def write(self, text: str) -> None:
+        """Coordinated output: only rank 0 actually writes."""
+        if self.rank == 0:
+            self._out(text)
+
+    @property
+    def peak_local_bytes(self) -> int:
+        """High-water mark of this rank's distributed-data storage."""
+        return self.memory.peak
+
+    def reseed(self, seed: int) -> None:
+        self.rng = np.random.default_rng(seed)
+
+    def _check_numeric(self, value: RValue, what: str) -> None:
+        if isinstance(value, str):
+            raise MatlabRuntimeError(f"{what}: expected a numeric value")
+
+    @staticmethod
+    def is_dist(value: RValue) -> bool:
+        return isinstance(value, DMatrix)
+
+    def scalar(self, value: RValue, what: str = "value") -> Union[float, complex]:
+        """Coerce to a replicated scalar (1x1 DMatrix is gathered)."""
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, complex):
+            return value
+        if isinstance(value, DMatrix):
+            if value.numel != 1:
+                raise MatlabRuntimeError(f"{what}: expected a scalar")
+            return self.element(value, 0, 0)
+        raise MatlabRuntimeError(f"{what}: expected a scalar")
+
+    def int_scalar(self, value: RValue, what: str = "value") -> int:
+        v = self.scalar(value, what)
+        real = v.real if isinstance(v, complex) else v
+        if float(real) != int(real):
+            raise MatlabRuntimeError(f"{what}: expected an integer")
+        return int(real)
+
+    def shape_of(self, value: RValue) -> tuple[int, int]:
+        if isinstance(value, DMatrix):
+            return value.shape
+        return V.shape_of(value)
+
+    # ------------------------------------------------------------------ #
+    # distribution / gathering
+    # ------------------------------------------------------------------ #
+
+    def distribute_full(self, full: np.ndarray) -> RValue:
+        """Distribute a replicated full array (no communication charged:
+        every rank already holds it)."""
+        full = V.as_matrix(full)
+        if full.size == 1:
+            return V.simplify(full)
+        return DMatrix.from_full(full, self.size, self.rank, self.scheme)
+
+    def gather_full(self, value: RValue, charge: bool = True) -> np.ndarray:
+        """Assemble the full array on every rank (ML-level allgather).
+
+        With ``cache_gathers`` the result is memoized on the descriptor
+        (safe: descriptors are immutable) and later gathers are free.
+        """
+        if not isinstance(value, DMatrix):
+            return V.as_matrix(value)
+        if self.cache_gathers and value.replica is not None:
+            self.comm.overhead()
+            return value.replica
+        self.comm.overhead()
+        parts = self.comm.allgather(value.local)
+        if not charge:
+            # caller accounts for traffic itself
+            pass
+        full = value.assemble(parts)
+        self.comm.compute(mem=value.numel)
+        if self.cache_gathers:
+            value.replica = full
+        return full
+
+    def to_interp_value(self, value: RValue):
+        """Replicated plain value (for oracles/tests): gathers if needed."""
+        if isinstance(value, DMatrix):
+            return V.simplify(self.gather_full(value))
+        return value
+
+    # ------------------------------------------------------------------ #
+    # creation (ML_init + fill)
+    # ------------------------------------------------------------------ #
+
+    def _create(self, rows: int, cols: int,
+                fill: Callable[[tuple[int, int]], np.ndarray]) -> RValue:
+        """Create a distributed matrix; ``fill`` produces the *full* array
+        (deterministically identical on every rank), each rank keeps its
+        block, and only the local share is charged."""
+        if rows < 0 or cols < 0:
+            raise MatlabRuntimeError("matrix dimensions must be nonnegative")
+        full = fill((rows, cols))
+        if rows * cols <= 1:
+            return V.simplify(np.asarray(full).reshape(rows, cols)
+                              if rows * cols else np.zeros((rows, cols)))
+        mat = DMatrix.from_full(np.asarray(full), self.size, self.rank,
+                                self.scheme)
+        self.comm.overhead()
+        self.comm.compute(mem=mat.local_count())
+        return mat
+
+    def zeros(self, rows: RValue = 1.0, cols: RValue | None = None) -> RValue:
+        r = self.int_scalar(rows, "zeros")
+        c = r if cols is None else self.int_scalar(cols, "zeros")
+        return self._create(r, c, lambda s: np.zeros(s))
+
+    def ones(self, rows: RValue = 1.0, cols: RValue | None = None) -> RValue:
+        r = self.int_scalar(rows, "ones")
+        c = r if cols is None else self.int_scalar(cols, "ones")
+        return self._create(r, c, lambda s: np.ones(s))
+
+    def eye(self, rows: RValue = 1.0, cols: RValue | None = None) -> RValue:
+        r = self.int_scalar(rows, "eye")
+        c = r if cols is None else self.int_scalar(cols, "eye")
+        return self._create(r, c, lambda s: np.eye(*s))
+
+    def rand(self, rows: RValue = 1.0, cols: RValue | None = None) -> RValue:
+        r = self.int_scalar(rows, "rand")
+        c = r if cols is None else self.int_scalar(cols, "rand")
+        # Generated identically on every rank from the shared stream so
+        # results match the sequential oracle bit-for-bit.
+        return self._create(r, c, lambda s: self.rng.random(s))
+
+    def randn(self, rows: RValue = 1.0, cols: RValue | None = None) -> RValue:
+        r = self.int_scalar(rows, "randn")
+        c = r if cols is None else self.int_scalar(cols, "randn")
+        return self._create(r, c, lambda s: self.rng.standard_normal(s))
+
+    def linspace(self, a: RValue, b: RValue, n: RValue = 100.0) -> RValue:
+        av = float(np.real(self.scalar(a, "linspace")))
+        bv = float(np.real(self.scalar(b, "linspace")))
+        nv = self.int_scalar(n, "linspace")
+        return self._create(1, nv,
+                            lambda s: np.linspace(av, bv, nv).reshape(1, -1))
+
+    def range_vector(self, start: RValue, step: RValue,
+                     stop: RValue) -> RValue:
+        sv = float(np.real(self.scalar(start, "range")))
+        pv = float(np.real(self.scalar(step, "range")))
+        ev = float(np.real(self.scalar(stop, "range")))
+        full = V.colon_range(sv, pv, ev)
+        if full.size <= 1:
+            return V.simplify(full)
+        return self._create(1, full.shape[1], lambda s: full)
+
+    def from_literal(self, rows: Sequence[Sequence[RValue]]) -> RValue:
+        """Build a matrix literal ``[a, b; c, d]``; distributed elements
+        are gathered first (that *is* communication, and is charged)."""
+        if not rows:
+            return np.zeros((0, 0))
+        blocks = []
+        for row in rows:
+            cells = []
+            for cell in row:
+                self._check_numeric(cell, "matrix literal")
+                cells.append(self.gather_full(cell)
+                             if isinstance(cell, DMatrix)
+                             else V.as_matrix(cell))
+            cells = [c for c in cells if c.size] or [np.zeros((0, 0))]
+            heights = {c.shape[0] for c in cells if c.size}
+            if len(heights) > 1:
+                raise MatlabRuntimeError(
+                    "matrix literal: inconsistent row heights")
+            blocks.append(np.hstack(cells))
+        widths = {b.shape[1] for b in blocks if b.size}
+        if len(widths) > 1:
+            raise MatlabRuntimeError("matrix literal: inconsistent widths")
+        blocks = [b for b in blocks if b.size]
+        if not blocks:
+            return np.zeros((0, 0))
+        full = np.vstack(blocks)
+        if full.size <= 1:
+            return V.simplify(full)
+        mat = DMatrix.from_full(full, self.size, self.rank, self.scheme)
+        self.comm.compute(mem=mat.local_count())
+        return mat
+
+    # ------------------------------------------------------------------ #
+    # element access (ML_broadcast / ML_owner / guarded stores)
+    # ------------------------------------------------------------------ #
+
+    def element(self, mat: RValue, i, j=None) -> Union[float, complex]:
+        """ML_broadcast: the owner of element (i[, j]) broadcasts it.
+
+        Subscripts are 0-based — the compiler has already decremented
+        them, exactly as the paper's emitted C does.
+        """
+        if not isinstance(mat, DMatrix):
+            value = V.index_read(mat, [float(i + 1)] if j is None
+                                 else [float(i + 1), float(j + 1)])
+            return value  # replicated: no communication
+        i = int(i)
+        jj = None if j is None else int(j)
+        self._bounds_check(mat, i, jj)
+        owner = mat.owner_of(i, jj)
+        if mat.owns(i, jj):
+            idx = mat.local_element_index(i, jj)
+            raw = mat.local[idx]
+            payload = complex(raw) if np.iscomplexobj(mat.local) \
+                else float(raw)
+        else:
+            payload = None
+        self.comm.overhead()
+        value = self.comm.bcast(payload, root=owner)
+        return value
+
+    def _bounds_check(self, mat: DMatrix, i: int, j: int | None) -> None:
+        if j is None:
+            if not 0 <= i < mat.numel:
+                raise MatlabRuntimeError("index exceeds matrix dimensions")
+        else:
+            if not (0 <= i < mat.rows and 0 <= j < mat.cols):
+                raise MatlabRuntimeError("index exceeds matrix dimensions")
+
+    def owner(self, mat: RValue, i, j=None) -> bool:
+        """ML_owner: does this rank store element (i[, j])?  0-based."""
+        if not isinstance(mat, DMatrix):
+            return True  # replicated
+        return mat.owns(int(i), None if j is None else int(j))
+
+    def set_element(self, mat: RValue, subs: Sequence, rhs: RValue) -> RValue:
+        """Guarded scalar store ``a(i, j) = rhs`` (pass 5's conditional):
+        only the owner writes; the updated matrix is returned.
+
+        Falls back to the general indexed store for non-scalar subscripts
+        or stores that grow the matrix.
+        """
+        scalar_subs = all(
+            sub is not COLON and not isinstance(sub, DMatrix)
+            and V.numel(sub) == 1 for sub in subs)
+        rhs_scalar = (not isinstance(rhs, DMatrix) and not isinstance(rhs, str)
+                      and V.numel(rhs) == 1)
+        if (isinstance(mat, DMatrix) and scalar_subs and rhs_scalar
+                and self._in_bounds(mat, subs)):
+            value = self.scalar(rhs)
+            local = mat.local
+            if isinstance(value, complex) and not np.iscomplexobj(local):
+                return self.index_assign(mat, subs, rhs)
+            i = int(float(np.real(self.scalar(subs[0])))) - 1
+            j = None if len(subs) == 1 else \
+                int(float(np.real(self.scalar(subs[1])))) - 1
+            new_local = local.copy()
+            if mat.owns(i, j):
+                idx = mat.local_element_index(i, j)
+                new_local[idx] = value
+            self.comm.overhead()
+            self.comm.compute(mem=mat.local_count())
+            return mat.like(new_local, dtype=mat.dtype)
+        return self.index_assign(mat, subs, rhs)
+
+    def _in_bounds(self, mat: DMatrix, subs: Sequence) -> bool:
+        try:
+            if len(subs) == 1:
+                i = self.int_scalar(subs[0]) - 1
+                return 0 <= i < mat.numel
+            i = self.int_scalar(subs[0]) - 1
+            j = self.int_scalar(subs[1]) - 1
+            return 0 <= i < mat.rows and 0 <= j < mat.cols
+        except MatlabRuntimeError:
+            return False
+
+    # ------------------------------------------------------------------ #
+    # general indexing (gather-based; scalar fast paths above)
+    # ------------------------------------------------------------------ #
+
+    def _replicate_sub(self, sub):
+        if sub is COLON:
+            return COLON
+        if isinstance(sub, DMatrix):
+            return V.simplify(self.gather_full(sub))
+        return sub
+
+    def index_read(self, mat: RValue, subs: Sequence) -> RValue:
+        """``mat(subs...)`` — 1-based subscripts, MATLAB semantics."""
+        subs = [self._replicate_sub(s) for s in subs]
+        if isinstance(mat, DMatrix):
+            # scalar fast path: a(i), a(i, j)
+            if all(s is not COLON and V.numel(s) == 1 for s in subs):
+                i = int(float(np.real(V.as_matrix(subs[0]).reshape(-1)[0]))) - 1
+                j = None if len(subs) == 1 else \
+                    int(float(np.real(V.as_matrix(subs[1]).reshape(-1)[0]))) - 1
+                return self.element(mat, i, j)
+            full = self.gather_full(mat)
+        else:
+            full = mat
+        result = V.index_read(full, list(subs))
+        self.comm.overhead()
+        return self.distribute_full(V.as_matrix(result)) \
+            if V.numel(result) > 1 else result
+
+    def index_assign(self, mat: RValue | None, subs: Sequence,
+                     rhs: RValue) -> RValue:
+        subs = [self._replicate_sub(s) for s in subs]
+        base = None
+        if mat is not None:
+            base = self.gather_full(mat) if isinstance(mat, DMatrix) \
+                else mat
+        rhs_rep = self.to_interp_value(rhs) if isinstance(rhs, DMatrix) else rhs
+        result = V.index_assign(base, list(subs), rhs_rep)
+        self.comm.overhead()
+        if V.numel(result) > 1:
+            return self.distribute_full(V.as_matrix(result))
+        return result
+
+    # ------------------------------------------------------------------ #
+    # fused elementwise (the compiler's owner-computes for loops)
+    # ------------------------------------------------------------------ #
+
+    def ew(self, fn: Callable[..., np.ndarray], nops: int,
+           *operands: RValue) -> RValue:
+        """Apply a fused elementwise kernel.
+
+        ``fn`` receives one ndarray (or scalar) per operand and computes
+        the whole statement's elementwise chain in one pass — this is the
+        single generated ``for`` loop of the paper's pass 4, so the cost
+        model charges ``nops`` flops per element but only *one* temporary.
+        """
+        dists = [op for op in operands if isinstance(op, DMatrix)]
+        for op in operands:
+            self._check_numeric(op, "elementwise operation")
+        if not dists:
+            locals_ = [complex(op) if isinstance(op, complex) else
+                       np.asarray(V.as_matrix(op)) for op in operands]
+            out = fn(*locals_)
+            return V.simplify(np.asarray(out))
+        shape = dists[0].shape
+        for d in dists[1:]:
+            if d.shape != shape:
+                raise MatlabRuntimeError(
+                    f"matrix dimensions must agree ({shape} vs {d.shape})")
+        args = []
+        for op in operands:
+            if isinstance(op, DMatrix):
+                args.append(op.local)
+            else:
+                args.append(op)  # replicated scalar broadcast
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out_local = fn(*args)
+        out_local = np.asarray(out_local)
+        if out_local.dtype.kind not in ("f", "c"):
+            out_local = out_local.astype(float)
+        template = dists[0]
+        self.comm.overhead()
+        self.comm.compute(elems=template.local_count() * nops,
+                          mem=template.local_count())
+        return template.like(out_local)
+
+    # ------------------------------------------------------------------ #
+    # truthiness / control flow support
+    # ------------------------------------------------------------------ #
+
+    def truthy(self, value: RValue) -> bool:
+        if isinstance(value, DMatrix):
+            local_ok = bool(np.all(value.local != 0)) \
+                if value.local.size else True
+            self.comm.overhead()
+            self.comm.compute(elems=value.local_count())
+            from ..mpi.comm import LAND
+
+            combined = self.comm.allreduce(float(local_ok), op=LAND)
+            return bool(combined) and value.numel > 0
+        return V.truthy(value)
+
+    def loop_values(self, iterable: RValue):
+        """Yield loop values for ``for v = iterable`` (columns, MATLAB
+        semantics).  Scalars yield once; distributed matrices yield
+        replicated scalars for row vectors and distributed columns
+        otherwise."""
+        if isinstance(iterable, str):
+            raise MatlabRuntimeError("for: cannot iterate a string")
+        if not isinstance(iterable, DMatrix):
+            arr = V.as_matrix(iterable)
+            if arr.shape[0] == 1:
+                for c in range(arr.shape[1]):
+                    yield V.simplify(arr[0, c])
+            else:
+                for c in range(arr.shape[1]):
+                    yield V.simplify(arr[:, c:c + 1])
+            return
+        if iterable.rows == 1:
+            full = self.gather_full(iterable).reshape(-1)
+            for value in full:
+                yield complex(value) if np.iscomplexobj(full) \
+                    else float(value)
+        else:
+            for c in range(iterable.cols):
+                yield self.index_read(iterable, [COLON, float(c + 1)])
+
+    # ------------------------------------------------------------------ #
+    # I/O (coordinated by rank 0) — ML_print_matrix and friends
+    # ------------------------------------------------------------------ #
+
+    def display(self, name: str, value: RValue) -> None:
+        rep = self.to_interp_value(value)
+        self.write(V.display(name, rep))
+
+    def disp(self, value: RValue) -> None:
+        rep = self.to_interp_value(value)
+        self.write(V.format_value(rep) + "\n")
+
+    def fprintf(self, fmt: RValue, *args: RValue) -> None:
+        from ..interp.builtins import sprintf_cycle
+
+        if not isinstance(fmt, str):
+            raise MatlabRuntimeError("fprintf: first argument must be a format")
+        values: list = []
+        for a in args:
+            rep = self.to_interp_value(a)
+            if isinstance(rep, str):
+                values.append(rep)
+            else:
+                values.extend(V.as_matrix(rep).reshape(-1, order="F")
+                              .tolist())
+        self.write(sprintf_cycle(fmt, values))
+
+    def error(self, fmt: RValue, *args: RValue) -> None:
+        from ..interp.builtins import sprintf_cycle
+
+        msg = fmt if isinstance(fmt, str) else V.format_value(
+            self.to_interp_value(fmt))
+        if args:
+            values: list = []
+            for a in args:
+                rep = self.to_interp_value(a)
+                values.extend(V.as_matrix(rep).reshape(-1, order="F").tolist())
+            msg = sprintf_cycle(msg, values)
+        raise MatlabRuntimeError(msg)
+
+    def load(self, name: RValue) -> RValue:
+        if not isinstance(name, str):
+            raise MatlabRuntimeError("load: file name must be a string")
+        if self.provider is None:
+            raise MatlabRuntimeError("load: no data provider configured")
+        data = self.provider.load_data_file(name)
+        if data is None:
+            raise MatlabRuntimeError(f"load: cannot find data file {name!r}")
+        full = V.as_matrix(np.asarray(data, dtype=complex)
+                           if np.iscomplexobj(np.asarray(data))
+                           else np.asarray(data, dtype=float))
+        # rank 0 reads the file and scatters row blocks
+        self.comm.overhead()
+        self.comm.advance(self.comm.machine.collective_time(
+            "scatter", full.nbytes // max(self.size, 1), self.size))
+        return self.distribute_full(full)
+
+    def save(self, name: RValue, *args: RValue) -> None:
+        if not isinstance(name, str):
+            raise MatlabRuntimeError("save: file name must be a string")
+        if self.rank == 0:
+            self.saved[name] = [self.to_interp_value(a) for a in args]
+        else:
+            for a in args:
+                if isinstance(a, DMatrix):
+                    self.to_interp_value(a)  # participate in the gather
+
+    def tic(self) -> None:
+        self.tic_time = self.comm.time
+
+    def toc(self) -> float:
+        return float(self.comm.time - self.tic_time)
+
+
+# -------------------------------------------------------------------------- #
+# delegation to the operation modules (import at the bottom avoids cycles)
+# -------------------------------------------------------------------------- #
+
+from . import builtins as _builtins  # noqa: E402
+from . import linalg as _linalg  # noqa: E402
+from . import reductions as _reductions  # noqa: E402
+from . import structural as _structural  # noqa: E402
+
+
+def _delegate(cls):
+    cls.matmul = lambda self, a, b: _linalg.matmul(self, a, b)
+    cls.dot = lambda self, a, b: _linalg.dot(self, a, b)
+    cls.outer = lambda self, a, b: _linalg.outer(self, a, b)
+    cls.matvec = lambda self, a, x: _linalg.matvec(self, a, x)
+    cls.vecmat = lambda self, x, a: _linalg.vecmat(self, x, a)
+    cls.transpose = lambda self, a, conjugate=True: _linalg.transpose(
+        self, a, conjugate)
+    cls.solve = lambda self, a, b, left=True: _linalg.solve(self, a, b, left)
+    cls.matrix_power = lambda self, a, k: _linalg.matrix_power(self, a, k)
+    cls.reduce_op = lambda self, name, v: _reductions.reduce_op(self, name, v)
+    cls.mean = lambda self, v: _reductions.mean(self, v)
+    cls.norm = lambda self, v, mode=None: _reductions.norm(self, v, mode)
+    cls.trapz = lambda self, x, y: _reductions.trapz(self, x, y)
+    cls.trapz2 = lambda self, z, dx=1.0, dy=1.0: _reductions.trapz2(
+        self, z, dx, dy)
+    cls.cumulative = lambda self, name, v: _reductions.cumulative(
+        self, name, v)
+    cls.sort = lambda self, v: _structural.sort(self, v)
+    cls.circshift = lambda self, v, k: _structural.circshift(self, v, k)
+    cls.call_builtin = lambda self, name, args, nargout=1: \
+        _builtins.call_builtin(self, name, args, nargout)
+    return cls
+
+
+_delegate(RuntimeContext)
+
+
+# -------------------------------------------------------------------------- #
+# codegen support methods (used by emitted Python programs)
+# -------------------------------------------------------------------------- #
+
+
+def _codegen_support(cls):
+    import numpy as _np
+    from ..interp import values as _V
+
+    def loop_range(self, start, step, stop):
+        """Replicated loop values for ``for i = a:s:b`` — no vector is
+        materialized, exactly like the compiled C loop."""
+        sv = float(_np.real(self.scalar(start, "for")))
+        pv = float(_np.real(self.scalar(step, "for")))
+        ev = float(_np.real(self.scalar(stop, "for")))
+        if pv == 0:
+            raise MatlabRuntimeError("for: range step must be nonzero")
+        n = int(_np.floor((ev - sv) / pv * (1 + _np.finfo(float).eps * 4)
+                          + 1e-10)) + 1
+        for k in range(max(n, 0)):
+            yield sv + pv * k
+
+    def end_extent(self, value, axis, nargs):
+        """Value of ``end`` inside a subscript (local metadata, no comm)."""
+        r, c = self.shape_of(value)
+        if int(self.scalar(nargs)) <= 1:
+            return float(r * c)
+        return float(r if int(self.scalar(axis)) == 0 else c)
+
+    def switch_match(self, subject, candidate) -> float:
+        sv = self.to_interp_value(subject)
+        cv = self.to_interp_value(candidate)
+        if isinstance(sv, str) or isinstance(cv, str):
+            return 1.0 if (isinstance(sv, str) and isinstance(cv, str)
+                           and sv == cv) else 0.0
+        return 1.0 if bool(_np.all(_V.as_matrix(sv) == _V.as_matrix(cv))) \
+            else 0.0
+
+    def matmul_t(self, a, b, conjugate=True):
+        return _linalg.matmul_t(self, a, b, conjugate)
+
+    cls.loop_range = loop_range
+    cls.end_extent = end_extent
+    cls.switch_match = switch_match
+    cls.matmul_t = matmul_t
+    return cls
+
+
+_codegen_support(RuntimeContext)

@@ -1,0 +1,95 @@
+"""Data distributions.
+
+The paper's initial implementation distributes *matrices row-contiguously*
+and *vectors by blocks*, with the guarantee that matrices of identical
+size are distributed identically (so same-shape elementwise operations
+need no communication).  Distribution decisions live here, inside the
+run-time library, "making it easier to experiment with alternative data
+distribution strategies" — the cyclic variant below backs the ablation
+benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DistributionError
+
+
+@dataclass(frozen=True)
+class BlockMap:
+    """A 1-D block partition of ``n`` items over ``nprocs`` ranks.
+
+    The first ``n % nprocs`` ranks receive one extra item, so sizes differ
+    by at most one and the partition is contiguous.
+    """
+
+    n: int
+    nprocs: int
+
+    def count(self, rank: int) -> int:
+        base, extra = divmod(self.n, self.nprocs)
+        return base + (1 if rank < extra else 0)
+
+    def start(self, rank: int) -> int:
+        base, extra = divmod(self.n, self.nprocs)
+        return rank * base + min(rank, extra)
+
+    def stop(self, rank: int) -> int:
+        return self.start(rank) + self.count(rank)
+
+    def owner(self, index: int) -> int:
+        """Rank owning global item ``index`` (0-based)."""
+        if not 0 <= index < self.n:
+            raise DistributionError(
+                f"index {index} out of range for extent {self.n}")
+        base, extra = divmod(self.n, self.nprocs)
+        boundary = extra * (base + 1)
+        if index < boundary:
+            return index // (base + 1) if base + 1 else 0
+        if base == 0:
+            raise DistributionError(
+                f"index {index} out of range for extent {self.n}")
+        return extra + (index - boundary) // base
+
+    def local_index(self, index: int) -> int:
+        return index - self.start(self.owner(index))
+
+    def counts(self) -> list[int]:
+        return [self.count(r) for r in range(self.nprocs)]
+
+    def starts(self) -> list[int]:
+        return [self.start(r) for r in range(self.nprocs)]
+
+
+@dataclass(frozen=True)
+class CyclicMap:
+    """Round-robin 1-D partition (the ablation alternative).
+
+    Not contiguous: global item ``i`` lives on rank ``i % nprocs`` at local
+    position ``i // nprocs``.
+    """
+
+    n: int
+    nprocs: int
+
+    def count(self, rank: int) -> int:
+        return (self.n - rank + self.nprocs - 1) // self.nprocs \
+            if rank < self.nprocs else 0
+
+    def owner(self, index: int) -> int:
+        if not 0 <= index < self.n:
+            raise DistributionError(
+                f"index {index} out of range for extent {self.n}")
+        return index % self.nprocs
+
+    def local_index(self, index: int) -> int:
+        return index // self.nprocs
+
+    def global_indices(self, rank: int) -> np.ndarray:
+        return np.arange(rank, self.n, self.nprocs)
+
+    def counts(self) -> list[int]:
+        return [self.count(r) for r in range(self.nprocs)]

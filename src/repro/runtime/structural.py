@@ -1,0 +1,246 @@
+"""Distributed structural operations: reshape, shifts, flips, triangles,
+diag, repmat, and a parallel sample sort.
+
+Triangle masking (`tril`/`triu`) is fully local — each rank knows the
+global row indices of its block.  ``circshift`` on a vector is a single
+ring boundary exchange for stencil-sized shifts (an alltoall of
+per-destination pieces for larger ones).  ``sort`` uses a parallel
+*sample sort* (an extension the
+paper lists as future work for the run-time library): local sort, sample,
+broadcast splitters, alltoall exchange, local merge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MatlabRuntimeError
+from ..interp import values as V
+from .matrix import DMatrix, RValue
+
+
+def reshape(rt, value: RValue, rows: RValue, cols: RValue) -> RValue:
+    r = rt.int_scalar(rows, "reshape")
+    c = rt.int_scalar(cols, "reshape")
+    shape = rt.shape_of(value)
+    if r * c != shape[0] * shape[1]:
+        raise MatlabRuntimeError("reshape: element counts must match")
+    full = rt.gather_full(value) if isinstance(value, DMatrix) \
+        else V.as_matrix(value)
+    rt.comm.compute(mem=full.size)
+    out = full.reshape((r, c), order="F")
+    return rt.distribute_full(out) if out.size > 1 else V.simplify(out)
+
+
+def repmat(rt, value: RValue, m: RValue, n: RValue) -> RValue:
+    mv = rt.int_scalar(m, "repmat")
+    nv = rt.int_scalar(n, "repmat")
+    full = rt.gather_full(value) if isinstance(value, DMatrix) \
+        else V.as_matrix(value)
+    out = np.tile(full, (mv, nv))
+    rt.comm.compute(mem=out.size // max(rt.size, 1))
+    return rt.distribute_full(out) if out.size > 1 else V.simplify(out)
+
+
+def circshift(rt, value: RValue, shift: RValue) -> RValue:
+    k = rt.int_scalar(shift, "circshift")
+    if not isinstance(value, DMatrix):
+        arr = V.as_matrix(value)
+        rt.comm.compute(mem=arr.size)
+        axis = 1 if arr.shape[0] == 1 else 0
+        return V.simplify(np.roll(arr, k, axis=axis))
+    if value.is_vector and value.scheme == "block":
+        return _circshift_vector(rt, value, k)
+    full = rt.gather_full(value)
+    axis = 1 if value.rows == 1 else 0
+    rt.comm.compute(mem=full.size)
+    return rt.distribute_full(np.roll(full, k, axis=axis))
+
+
+def _circshift_vector(rt, vec: DMatrix, k: int) -> DMatrix:
+    """Block-distributed vector shift.
+
+    Small shifts (|k| below the smallest block) are a single ring
+    boundary exchange — the stencil-friendly fast path.  Larger shifts
+    fall back to an alltoall of per-destination pieces."""
+    n = vec.numel
+    if n == 0:
+        return vec
+    k = k % n
+    if k == 0:
+        rt.comm.overhead()
+        return vec.like(vec.local.copy())
+    min_count = min(vec.map.counts())
+    if 0 < k <= min_count and rt.size > 1:
+        return _circshift_ring(rt, vec, k)
+    if 0 < (n - k) <= min_count and rt.size > 1:
+        # a large positive shift is a small negative one
+        return _circshift_ring(rt, vec, k - n)
+    gidx = vec.global_row_indices()
+    dest_global = (gidx + k) % n
+    outgoing: list[list] = [[] for _ in range(rt.size)]
+    for local_pos, g in enumerate(dest_global):
+        owner = vec.map.owner(int(g))
+        outgoing[owner].append((int(g), vec.local[local_pos]))
+    rt.comm.overhead()
+    rt.comm.compute(mem=vec.local_count())
+    incoming = rt.comm.alltoall(outgoing)
+    new_local = np.empty_like(vec.local)
+    start = vec.map.start(rt.rank)
+    for bucket in incoming:
+        for g, val in bucket:
+            new_local[g - start] = val
+    return vec.like(new_local)
+
+
+def _circshift_ring(rt, vec: DMatrix, k: int) -> DMatrix:
+    """Shift by |k| <= min block: one sendrecv with the ring neighbour.
+
+    Shifting right by k moves each rank's last k elements to the next
+    rank's front (and symmetrically for k < 0) — two messages per step
+    of a stencil instead of an alltoall.
+    """
+    local = vec.local
+    p = rt.size
+    if k > 0:
+        dest = (rt.rank + 1) % p
+        source = (rt.rank - 1) % p
+        boundary = np.ascontiguousarray(local[-k:])
+        received = rt.comm.sendrecv(boundary, dest=dest, source=source)
+        new_local = np.concatenate([received, local[:-k]]) \
+            if local.size else local.copy()
+    else:
+        kk = -k
+        dest = (rt.rank - 1) % p
+        source = (rt.rank + 1) % p
+        boundary = np.ascontiguousarray(local[:kk])
+        received = rt.comm.sendrecv(boundary, dest=dest, source=source)
+        new_local = np.concatenate([local[kk:], received]) \
+            if local.size else local.copy()
+    rt.comm.overhead()
+    rt.comm.compute(mem=vec.local_count())
+    return vec.like(np.asarray(new_local, dtype=vec.local.dtype))
+
+
+def flip(rt, value: RValue, axis: int) -> RValue:
+    """fliplr (axis=1) / flipud (axis=0)."""
+    if not isinstance(value, DMatrix):
+        arr = V.as_matrix(value)
+        rt.comm.compute(mem=arr.size)
+        return V.simplify(np.flip(arr, axis=axis))
+    if value.is_vector:
+        # a flip is a permutation; reuse the gather-free shift machinery
+        # only when trivial, otherwise gather (vectors are cheap to gather)
+        full = rt.gather_full(value)
+        out = np.flip(full, axis=1 if value.rows == 1 else 0)
+        rt.comm.compute(mem=out.size)
+        return rt.distribute_full(np.ascontiguousarray(out))
+    if axis == 1:
+        # column flip is local for row-distributed matrices
+        rt.comm.overhead()
+        rt.comm.compute(mem=value.local_count())
+        return value.like(np.ascontiguousarray(np.flip(value.local, axis=1)))
+    full = rt.gather_full(value)
+    rt.comm.compute(mem=full.size)
+    return rt.distribute_full(np.ascontiguousarray(np.flip(full, axis=0)))
+
+
+def triangle(rt, value: RValue, k: RValue, lower: bool) -> RValue:
+    kv = 0 if k is None else rt.int_scalar(k, "tril/triu")
+    if not isinstance(value, DMatrix):
+        arr = V.as_matrix(value)
+        rt.comm.compute(elems=arr.size)
+        return V.simplify(np.tril(arr, kv) if lower else np.triu(arr, kv))
+    if value.is_vector:
+        full = rt.gather_full(value)
+        out = np.tril(full, kv) if lower else np.triu(full, kv)
+        return rt.distribute_full(out)
+    # local masking using global row indices — no communication
+    gidx = value.global_row_indices()
+    cols = np.arange(value.cols)
+    if lower:
+        mask = cols[None, :] <= gidx[:, None] + kv
+    else:
+        mask = cols[None, :] >= gidx[:, None] + kv
+    rt.comm.overhead()
+    rt.comm.compute(elems=value.local_count())
+    return value.like(np.where(mask, value.local, 0.0)
+                      .astype(value.local.dtype))
+
+
+def diag(rt, value: RValue) -> RValue:
+    shape = rt.shape_of(value)
+    if shape[0] == 1 or shape[1] == 1:
+        # vector -> diagonal matrix: local rows pick their own element
+        full_v = (rt.gather_full(value) if isinstance(value, DMatrix)
+                  else V.as_matrix(value)).reshape(-1)
+        n = full_v.size
+        out = np.diag(full_v)
+        rt.comm.compute(mem=n)
+        return rt.distribute_full(out) if out.size > 1 else V.simplify(out)
+    # matrix -> main diagonal column vector: local extraction + assembly
+    full = rt.gather_full(value) if isinstance(value, DMatrix) \
+        else V.as_matrix(value)
+    out = np.diag(full).reshape(-1, 1)
+    rt.comm.compute(mem=out.size)
+    return rt.distribute_full(out) if out.size > 1 else V.simplify(out)
+
+
+def sort(rt, value: RValue) -> RValue:
+    """Ascending sort; vectors use a parallel sample sort."""
+    if not isinstance(value, DMatrix):
+        arr = V.as_matrix(value)
+        n = arr.size
+        rt.comm.compute(elems=n * max(int(np.log2(n)) if n > 1 else 1, 1))
+        axis = 1 if arr.shape[0] == 1 else 0
+        return V.simplify(np.sort(arr, axis=axis))
+    if value.is_vector and value.scheme == "block" and rt.size > 1:
+        return _sample_sort(rt, value)
+    full = rt.gather_full(value)
+    n = full.size
+    rt.comm.compute(elems=n * max(int(np.log2(n)) if n > 1 else 1, 1))
+    axis = 1 if value.rows == 1 else 0
+    return rt.distribute_full(np.sort(full, axis=axis))
+
+
+def _sample_sort(rt, vec: DMatrix) -> DMatrix:
+    """Classic sample sort returning the paper's block distribution."""
+    p = rt.size
+    local = np.sort(np.real(vec.local).astype(float))
+    n_local = local.size
+    rt.comm.overhead()
+    rt.comm.compute(elems=n_local * max(int(np.log2(n_local))
+                                        if n_local > 1 else 1, 1))
+    # sample p-1 local splitters (or fewer when the block is small)
+    if n_local:
+        picks = np.linspace(0, n_local - 1, p + 1)[1:-1]
+        samples = local[picks.astype(int)]
+    else:
+        samples = np.zeros(0)
+    all_samples = np.concatenate(rt.comm.allgather(samples))
+    all_samples.sort()
+    if all_samples.size >= p - 1 and p > 1:
+        step = all_samples.size / p
+        splitters = all_samples[(np.arange(1, p) * step).astype(int)
+                                .clip(0, all_samples.size - 1)]
+    else:
+        splitters = all_samples[:p - 1]
+    # partition local data by splitter buckets and exchange
+    bucket_ids = np.searchsorted(splitters, local, side="right") \
+        if splitters.size else np.zeros(n_local, dtype=int)
+    outgoing = [local[bucket_ids == b] for b in range(p)]
+    incoming = rt.comm.alltoall(outgoing)
+    merged = np.sort(np.concatenate(incoming)) if incoming else np.zeros(0)
+    rt.comm.compute(elems=merged.size * max(int(np.log2(merged.size))
+                                            if merged.size > 1 else 1, 1))
+    # rebalance to the canonical block distribution
+    counts = rt.comm.allgather(int(merged.size))
+    offsets = np.cumsum([0] + counts)
+    full = np.empty(vec.numel)
+    gathered = rt.comm.allgather(merged)
+    for r, part in enumerate(gathered):
+        full[offsets[r]:offsets[r + 1]] = part
+    out = full.reshape((vec.rows, vec.cols), order="F")
+    result = rt.distribute_full(out)
+    assert isinstance(result, DMatrix)
+    return result

@@ -1,0 +1,1 @@
+"""Developer tools (documentation generators, maintenance scripts)."""

@@ -1,0 +1,75 @@
+"""Generate docs/BUILTINS.md from the builtin registry.
+
+Run:  python -m repro.tools.builtin_table [output-path]
+
+A test asserts the checked-in file matches the registry, so the builtin
+reference can never drift from the code.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from ..analysis.builtin_sigs import REGISTRY
+
+_KIND_TITLES = {
+    "generator": "Matrix generators",
+    "elementwise": "Elementwise functions (unary)",
+    "ewbinary": "Elementwise functions (binary)",
+    "reduction": "Reductions",
+    "linalg": "Linear algebra",
+    "query": "Shape and type queries",
+    "structural": "Structural operations",
+    "constant": "Constants",
+    "io": "Strings, I/O, and timing",
+}
+
+
+def _arity(sig) -> str:
+    if sig.max_args < 0:
+        return f"{sig.min_args}+"
+    if sig.min_args == sig.max_args:
+        return str(sig.min_args)
+    return f"{sig.min_args}-{sig.max_args}"
+
+
+def generate() -> str:
+    out = ["# Builtin reference",
+           "",
+           "Generated from `repro/analysis/builtin_sigs.py` by "
+           "`python -m repro.tools.builtin_table`; do not edit by hand "
+           "(`tests/test_builtin_docs.py` enforces freshness).",
+           "",
+           f"{len(REGISTRY)} builtins.  Every name has an interpreter "
+           "implementation and a distributed run-time implementation "
+           "(enforced by `tests/test_registry_sync.py`).",
+           ""]
+    for kind, title in _KIND_TITLES.items():
+        rows = sorted((name, sig) for name, sig in REGISTRY.items()
+                      if sig.kind == kind)
+        if not rows:
+            continue
+        out.append(f"## {title}")
+        out.append("")
+        out.append("| name | args | outputs | pure | notes |")
+        out.append("|---|---|---|---|---|")
+        for name, sig in rows:
+            pure = "yes" if sig.pure else "no"
+            out.append(f"| `{name}` | {_arity(sig)} | {sig.nargout} "
+                       f"| {pure} | {sig.notes} |")
+        out.append("")
+    return "\n".join(out) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    target = args[0] if args else "docs/BUILTINS.md"
+    text = generate()
+    with open(target, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"wrote {target} ({len(REGISTRY)} builtins)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,164 @@
+"""CFG construction, dominance, and SSA tests."""
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dominance import compute_dominance
+from repro.analysis.ssa import build_ssa
+from repro.analysis.resolve import resolve_program
+from repro.frontend.parser import parse_script
+
+
+def cfg_of(src):
+    prog = resolve_program(parse_script(src))
+    return build_cfg(prog.script.body), prog
+
+
+def ssa_of(src, params=None):
+    prog = resolve_program(parse_script(src))
+    return build_ssa(prog.script.body, params)
+
+
+class TestCFG:
+    def test_straight_line_single_block(self):
+        cfg, _ = cfg_of("a = 1;\nb = 2;\nc = a + b;")
+        reachable = cfg.reachable_order()
+        blocks_with_events = [b for b in reachable
+                              if cfg.blocks[b].events]
+        assert len(blocks_with_events) == 1
+
+    def test_if_makes_diamond(self):
+        cfg, _ = cfg_of("x = 1;\nif x > 0\n y = 1;\nelse\n y = 2;\nend\nz = y;")
+        # entry(+cond), then, else, join are all reachable
+        assert len(cfg.reachable_order()) >= 4
+
+    def test_while_has_back_edge(self):
+        cfg, _ = cfg_of("x = 0;\nwhile x < 3\n x = x + 1;\nend")
+        has_back = False
+        rpo_index = {b: i for i, b in enumerate(cfg.reachable_order())}
+        for b in cfg.reachable_order():
+            for s in cfg.blocks[b].succs:
+                if s in rpo_index and rpo_index[s] <= rpo_index[b]:
+                    has_back = True
+        assert has_back
+
+    def test_break_exits_loop(self):
+        cfg, _ = cfg_of(
+            "for i = 1:10\n if i > 3, break, end\nend\nz = 1;")
+        assert cfg.exit in cfg.reachable_order()
+
+    def test_return_edges_to_exit(self):
+        cfg, _ = cfg_of("x = 1;\nreturn\ny = 2;")
+        # the block containing x=1 must reach exit directly
+        assert cfg.exit in cfg.reachable_order()
+
+    def test_all_reachable_blocks_have_path_to_entry(self):
+        cfg, _ = cfg_of("""
+for i = 1:3
+    if i == 2
+        continue
+    end
+    x = i;
+end
+""")
+        order = cfg.reachable_order()
+        assert order[0] == cfg.entry
+
+
+class TestDominance:
+    def test_entry_dominates_all(self):
+        cfg, _ = cfg_of("a = 1;\nif a > 0\n b = 1;\nend\nc = 2;")
+        dom = compute_dominance(cfg)
+        for b in dom.rpo:
+            assert dom.dominates(cfg.entry, b)
+
+    def test_branch_does_not_dominate_join(self):
+        cfg, _ = cfg_of("a = 1;\nif a > 0\n b = 1;\nelse\n b = 2;\nend\nc = b;")
+        dom = compute_dominance(cfg)
+        # the join block has two preds; neither branch dominates it
+        joins = [b for b in dom.rpo
+                 if len([p for p in cfg.blocks[b].preds
+                         if p in dom.idom]) >= 2]
+        assert joins
+        join = joins[0]
+        preds = cfg.blocks[join].preds
+        for p in preds:
+            if p != dom.idom[join]:
+                assert not dom.dominates(p, join)
+
+    def test_dominance_frontier_of_branches_is_join(self):
+        cfg, _ = cfg_of("a = 1;\nif a > 0\n b = 1;\nelse\n b = 2;\nend\nc = b;")
+        dom = compute_dominance(cfg)
+        frontier_targets = set()
+        for b in dom.rpo:
+            frontier_targets |= dom.frontier[b]
+        joins = [b for b in dom.rpo if len(cfg.blocks[b].preds) >= 2]
+        assert set(joins) <= frontier_targets
+
+    def test_dom_tree_preorder_starts_at_entry(self):
+        cfg, _ = cfg_of("x = 1;\nwhile x < 5\n x = x + 1;\nend")
+        dom = compute_dominance(cfg)
+        order = dom.dom_tree_preorder()
+        assert order[0] == cfg.entry
+        assert set(order) == set(dom.rpo)
+
+
+class TestSSA:
+    def test_single_assignment_per_value(self):
+        ssa = ssa_of("x = 1;\nx = 2;\nx = x + 1;")
+        xs = ssa.versions_of("x")
+        # entry version + 3 defs
+        assert len(xs) == 4
+        indices = [v.index for v in xs]
+        assert len(set(indices)) == len(indices)
+
+    def test_phi_at_if_join(self):
+        ssa = ssa_of("a = 1;\nif a > 0\n x = 1;\nelse\n x = 2;\nend\ny = x;")
+        phis = [p for p in ssa.all_phis() if p.var == "x"]
+        assert len(phis) == 1
+        assert len(phis[0].args) == 2
+
+    def test_phi_at_loop_header(self):
+        ssa = ssa_of("x = 0;\nfor i = 1:3\n x = x + 1;\nend\ny = x;")
+        phis = [p for p in ssa.all_phis() if p.var == "x"]
+        assert phis, "loop-carried variable needs a header phi"
+
+    def test_use_annotated_with_reaching_def(self):
+        ssa = ssa_of("x = 1;\ny = x;\nx = 2;\nz = x;")
+        # uses of x: the first maps to version of first def, second to
+        # second def
+        uses = [v for k, v in ssa.use_of.items() if v.var == "x"]
+        assert len({u.vid for u in uses}) == 2
+
+    def test_params_defined_at_entry(self):
+        from repro.frontend.parser import parse_function_file
+
+        funcs = parse_function_file(
+            "function y = f(a, b)\ny = a + b;")
+        ssa = build_ssa(funcs[0].body, params=["a", "b"])
+        assert "a" in ssa.param_values and "b" in ssa.param_values
+
+    def test_implicit_use_of_indexed_target(self):
+        ssa = ssa_of("a = zeros(3, 1);\na(2) = 5;")
+        found = [key for key in ssa.implicit_use_of if key[1] == "a"]
+        assert found
+
+    def test_phi_args_cover_preds(self):
+        ssa = ssa_of("""
+x = 0;
+for i = 1:4
+    if i > 2
+        x = x + 10;
+    end
+end
+y = x;
+""")
+        for phi in ssa.all_phis():
+            block_preds = set(ssa.cfg.blocks[phi.block].preds)
+            assert set(phi.args) <= block_preds
+            assert phi.args  # never empty
+
+    def test_while_condition_uses_phi(self):
+        ssa = ssa_of("x = 0;\nwhile x < 5\n x = x + 1;\nend")
+        phis = [p for p in ssa.all_phis() if p.var == "x"]
+        assert phis

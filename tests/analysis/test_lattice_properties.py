@@ -1,0 +1,124 @@
+"""Algebraic laws of the inference lattice (hypothesis)."""
+
+from hypothesis import given, strategies as st
+
+from repro.analysis.lattice import (
+    BOTTOM,
+    BaseType,
+    Rank,
+    Shape,
+    UNKNOWN,
+    VarType,
+)
+
+base_types = st.sampled_from(list(BaseType))
+ranks = st.sampled_from(list(Rank))
+dims = st.one_of(st.none(), st.integers(0, 12))
+shapes = st.builds(Shape, rows=dims, cols=dims)
+# engine invariant: fully-bottom values always carry the unknown shape
+var_types = st.builds(VarType, base=base_types, rank=ranks,
+                      shape=shapes).map(
+    lambda v: BOTTOM if (v.base is BaseType.BOTTOM
+                         and v.rank is Rank.BOTTOM) else v)
+
+
+class TestBaseTypeLattice:
+    @given(base_types, base_types)
+    def test_commutative(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(base_types, base_types, base_types)
+    def test_associative(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(base_types)
+    def test_idempotent(self, a):
+        assert a.join(a) == a
+
+    @given(base_types)
+    def test_bottom_identity(self, a):
+        assert BaseType.BOTTOM.join(a) == a
+
+    @given(base_types)
+    def test_unknown_absorbs(self, a):
+        assert a.join(BaseType.UNKNOWN) == BaseType.UNKNOWN
+
+    def test_numeric_chain(self):
+        assert BaseType.INTEGER.join(BaseType.REAL) is BaseType.REAL
+        assert BaseType.REAL.join(BaseType.COMPLEX) is BaseType.COMPLEX
+        assert BaseType.LITERAL.join(BaseType.REAL) is BaseType.UNKNOWN
+
+
+class TestRankLattice:
+    @given(ranks, ranks)
+    def test_commutative(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(ranks, ranks, ranks)
+    def test_associative(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(ranks)
+    def test_idempotent(self, a):
+        assert a.join(a) == a
+
+    def test_scalar_matrix_conflict_is_unknown(self):
+        assert Rank.SCALAR.join(Rank.MATRIX) is Rank.UNKNOWN
+
+
+class TestShapeLattice:
+    @given(shapes, shapes)
+    def test_commutative(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(shapes, shapes, shapes)
+    def test_associative(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(shapes)
+    def test_idempotent(self, a):
+        assert a.join(a) == a
+
+    @given(shapes)
+    def test_join_with_unknown_dims_loses_info_monotonically(self, a):
+        joined = a.join(Shape(None, None))
+        assert joined == Shape(None, None)
+
+    @given(shapes)
+    def test_transpose_involution(self, a):
+        assert a.transposed().transposed() == a
+
+    @given(shapes)
+    def test_numel_consistent(self, a):
+        n = a.numel()
+        if a.is_static:
+            assert n == a.rows * a.cols
+        else:
+            assert n is None
+
+
+class TestVarTypeLattice:
+    @given(var_types, var_types)
+    def test_commutative(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(var_types)
+    def test_idempotent(self, a):
+        assert a.join(a) == a
+
+    @given(var_types)
+    def test_bottom_is_identity(self, a):
+        assert BOTTOM.join(a) == a
+        assert a.join(BOTTOM) == a
+
+    @given(var_types, var_types, var_types)
+    def test_associative_modulo_bottom(self, a, b, c):
+        # full associativity holds because BOTTOM short-circuits
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(var_types, var_types)
+    def test_join_is_upper_bound_on_base(self, a, b):
+        j = a.join(b)
+        # joining again with either side never goes back down
+        assert j.join(a) == j
+        assert j.join(b) == j

@@ -1,0 +1,157 @@
+"""Identifier-resolution (pass 2) tests."""
+
+import pytest
+
+from repro.errors import ResolutionError
+from repro.frontend import ast_nodes as A
+from repro.frontend.mfile import DictProvider
+from repro.frontend.parser import parse_script
+from repro.analysis.resolve import resolve_program
+
+
+def resolve(src, mfiles=None):
+    return resolve_program(parse_script(src),
+                           DictProvider(mfiles or {}))
+
+
+def find_applies(prog):
+    out = []
+    for node in A.walk(prog.script.node):
+        if isinstance(node, A.Apply):
+            out.append(node)
+    return out
+
+
+class TestVariableVsFunction:
+    def test_assigned_name_is_index(self):
+        prog = resolve("a = zeros(3, 3);\nb = a(1, 2);")
+        applies = {n.name: n.resolved for n in find_applies(prog)}
+        assert applies["a"] == "index"
+        assert applies["zeros"] == "builtin"
+
+    def test_unassigned_name_is_builtin(self):
+        prog = resolve("x = sum(ones(4, 1));")
+        applies = {n.name: n.resolved for n in find_applies(prog)}
+        assert applies["sum"] == "builtin"
+
+    def test_user_function_resolved(self):
+        prog = resolve("y = f(3);", {"f": "function y = f(x)\ny = x + 1;"})
+        assert "f" in prog.functions
+        applies = {n.name: n.resolved for n in find_applies(prog)}
+        assert applies["f"] == "call"
+
+    def test_variable_shadows_builtin(self):
+        prog = resolve("sum = 3;\nx = sum(1);")
+        applies = {n.name: n.resolved for n in find_applies(prog)}
+        assert applies["sum"] == "index"
+
+    def test_loop_var_is_variable(self):
+        prog = resolve("for i = 1:3\n x = i(1);\nend")
+        applies = {n.name: n.resolved for n in find_applies(prog)}
+        assert applies["i"] == "index"
+
+    def test_undefined_identifier_raises(self):
+        with pytest.raises(ResolutionError):
+            resolve("x = no_such_thing_anywhere;")
+
+    def test_undefined_function_raises(self):
+        with pytest.raises(ResolutionError):
+            resolve("x = no_such_fn(3);")
+
+    def test_zero_arg_builtin_as_ident(self):
+        prog = resolve("x = pi;")
+        applies = find_applies(prog)
+        assert applies and applies[0].name == "pi"
+        assert applies[0].resolved == "builtin"
+
+    def test_zero_arg_user_function_as_ident(self):
+        prog = resolve("x = answer;",
+                       {"answer": "function y = answer\ny = 42;"})
+        applies = find_applies(prog)
+        assert applies[0].resolved == "call"
+
+
+class TestMFiles:
+    def test_transitive_functions(self):
+        prog = resolve("y = f(1);", {
+            "f": "function y = f(x)\ny = g(x) * 2;",
+            "g": "function y = g(x)\ny = x + 1;",
+        })
+        assert set(prog.functions) == {"f", "g"}
+
+    def test_recursive_function(self):
+        prog = resolve("y = fact(5);", {
+            "fact": """function y = fact(n)
+if n <= 1
+    y = 1;
+else
+    y = n * fact(n - 1);
+end
+"""})
+        assert "fact" in prog.functions
+
+    def test_subfunction_visibility(self):
+        prog = resolve("y = outer(2);", {
+            "outer": """function y = outer(x)
+y = inner(x) + 1;
+
+function z = inner(x)
+z = x * 10;
+"""})
+        assert "inner" in prog.functions
+
+    def test_function_params_are_variables(self):
+        prog = resolve("y = f(ones(2, 2));",
+                       {"f": "function y = f(a)\ny = a(1, 1);"})
+        func_node = prog.functions["f"].node
+        for node in A.walk(func_node):
+            if isinstance(node, A.Apply) and node.name == "a":
+                assert node.resolved == "index"
+
+
+class TestEndBinding:
+    def test_end_bound_to_var_and_axis(self):
+        prog = resolve("a = zeros(3, 4);\nx = a(end, end);")
+        ends = [n for n in A.walk(prog.script.node)
+                if isinstance(n, A.EndRef)]
+        assert len(ends) == 2
+        assert all(e.var == "a" and e.nargs == 2 for e in ends)
+        assert {e.axis for e in ends} == {0, 1}
+
+    def test_linear_end(self):
+        prog = resolve("a = zeros(3, 4);\nx = a(end);")
+        end = [n for n in A.walk(prog.script.node)
+               if isinstance(n, A.EndRef)][0]
+        assert end.nargs == 1
+
+    def test_nested_end_binds_innermost(self):
+        prog = resolve("a = zeros(3, 1);\nb = zeros(5, 1);\n"
+                       "x = a(b(end) - 4);")
+        end = [n for n in A.walk(prog.script.node)
+               if isinstance(n, A.EndRef)][0]
+        assert end.var == "b"
+
+    def test_end_in_lvalue(self):
+        prog = resolve("a = zeros(3, 1);\na(end) = 7;")
+        end = [n for n in A.walk(prog.script.node)
+               if isinstance(n, A.EndRef)][0]
+        assert end.var == "a"
+
+
+class TestErrors:
+    def test_colon_passed_to_function(self):
+        with pytest.raises(ResolutionError):
+            resolve("x = sum(:);")
+
+    def test_builtin_arity_checked(self):
+        with pytest.raises(ResolutionError):
+            resolve("x = sqrt(1, 2);")
+
+    def test_multiassign_of_indexing_rejected(self):
+        with pytest.raises(ResolutionError):
+            resolve("a = zeros(2, 2);\n[x, y] = a(1, 2);")
+
+
+def test_ans_defined_by_expression_statement():
+    prog = resolve("3 + 4\nx = ans * 2;")
+    assert prog.script.symtab.is_variable("ans")

@@ -1,0 +1,143 @@
+"""Benchmark-infrastructure tests (small scale, fast)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.matcom import DEFAULT_MATCOM, matcom_time
+from repro.bench import (
+    ALL_KEYS,
+    BenchHarness,
+    TABLE1,
+    make_workload,
+    render_figure2,
+    render_speedup_figure,
+    render_table1,
+    table1,
+)
+from repro.bench.figures import figure2, speedup_figure
+from repro.mpi import MEIKO_CS2, SPARC20_CLUSTER
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return BenchHarness()
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("key", ALL_KEYS)
+    def test_compile_and_run_small(self, key, harness):
+        w = make_workload(key, scale="small")
+        t = harness.otter_time(w, nprocs=2)
+        assert t > 0
+
+    @pytest.mark.parametrize("key", ALL_KEYS)
+    def test_paper_scale_parameters(self, key):
+        w = make_workload(key, scale="paper")
+        # paper sizes embedded in the source
+        if key == "cg":
+            assert "n = 2048;" in w.source
+        if key == "nbody":
+            assert "n = 5000;" in w.source
+
+    def test_mscripts_package_data_in_sync(self):
+        import os
+
+        import repro.bench as bench_pkg
+
+        d = os.path.join(os.path.dirname(bench_pkg.__file__), "mscripts")
+        for key in ALL_KEYS:
+            with open(os.path.join(d, f"{key}.m")) as fh:
+                assert fh.read() == make_workload(key, "paper").source
+
+    def test_oracle_cross_check_fires_on_divergence(self, harness):
+        w = make_workload("cg", scale="small")
+        harness.interpreter_time(w)
+        with pytest.raises(AssertionError):
+            harness._check_output(w, "cg: n=512 resid=9.9e+00 err=9.9e+00\n")
+
+
+class TestTable1:
+    def test_eight_systems(self):
+        assert len(table1()) == 8
+
+    def test_only_falcon_and_otter_pure_parallel(self):
+        pure = [r.name for r in TABLE1 if r.pure_matlab_parallel]
+        assert sorted(pure) == ["FALCON", "Otter"]
+
+    def test_render(self):
+        text = render_table1(table1())
+        assert "Otter" in text and "Oregon State" in text
+
+
+class TestFigure2Small:
+    def test_otter_beats_interpreter_everywhere(self, harness):
+        fig = figure2(scale="small", harness=harness)
+        assert fig.otter_beats_interpreter_everywhere()
+
+    def test_two_two_split(self, harness):
+        fig = figure2(scale="small", harness=harness)
+        assert fig.split_vs_matcom() == (2, 2)
+
+    def test_render(self, harness):
+        text = render_figure2(figure2(scale="small", harness=harness))
+        assert "MATCOM" in text and "2-2" in text
+
+
+class TestSpeedupCurves:
+    def test_curve_monotone_in_output(self, harness):
+        w = make_workload("closure", scale="small")
+        curve = harness.speedup_curve(w, MEIKO_CS2, nprocs=[1, 2, 4])
+        assert curve.at(2) > curve.at(1)
+
+    def test_figure_object(self, harness):
+        fig = speedup_figure(6, scale="small", harness=harness,
+                             nprocs=[1, 2])
+        assert set(fig.curves) == {
+            "Meiko CS-2", "Sun Enterprise 4000", "SPARCserver-20 cluster"}
+        text = render_speedup_figure(fig)
+        assert "Figure 6" in text
+
+    def test_speedups_relative_to_own_machine(self, harness):
+        w = make_workload("cg", scale="small")
+        curve = harness.speedup_curve(w, SPARC20_CLUSTER, nprocs=[1])
+        # single-CPU compiled speedup over the interpreter is
+        # machine-relative, so roughly machine-independent
+        meiko = harness.speedup_curve(w, MEIKO_CS2, nprocs=[1])
+        assert curve.at(1) == pytest.approx(meiko.at(1), rel=0.5)
+
+
+class TestMatcomBaseline:
+    def test_matcom_faster_than_interpreter(self, harness):
+        w = make_workload("cg", scale="small")
+        t_interp = harness.interpreter_time(w)
+        t_matcom = harness.matcom_time(w)
+        assert t_matcom < t_interp
+
+    def test_matcom_time_function(self):
+        t = matcom_time("a = rand(50, 50);\nb = a * a;\ns = sum(sum(b));",
+                        MEIKO_CS2)
+        assert t > 0
+
+    def test_matcom_produces_same_results(self):
+        from repro.analysis.resolve import resolve_program
+        from repro.baselines.matcom import run_matcom
+        from repro.frontend.parser import parse_script
+        from repro.interp.interpreter import run_source
+
+        src = "rand('seed', 2);\na = rand(6, 6);\ns = sum(sum(a));"
+        interp, _ = run_matcom(resolve_program(parse_script(src)), MEIKO_CS2)
+        oracle = run_source(src)
+        assert interp.workspace["s"] == oracle.workspace["s"]
+
+
+def test_calibration_bands_well_formed():
+    from repro.bench.calibration import (
+        FIG2_CLAIMS,
+        FIG_MEIKO16_BANDS,
+        MEIKO16_ORDERING,
+    )
+
+    assert FIG2_CLAIMS["split"] == (2, 2)
+    assert set(MEIKO16_ORDERING) == set(FIG_MEIKO16_BANDS)
+    for band in FIG_MEIKO16_BANDS.values():
+        assert band.lo < band.hi

@@ -1,0 +1,36 @@
+"""Full-file golden test: the C emitted for the conjugate-gradient
+benchmark is pinned to tests/golden/cg_n64.c.
+
+If an intentional backend change alters the output, regenerate with:
+
+    python -c "from repro.bench.workloads import conjugate_gradient; \
+from repro.compiler import compile_source; \
+open('tests/golden/cg_n64.c','w').write(compile_source(\
+conjugate_gradient(n=64, iters=5).source, name='cg').c_source)"
+"""
+
+import os
+
+from repro.bench.workloads import conjugate_gradient
+from repro.compiler import compile_source
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "..", "golden",
+                      "cg_n64.c")
+
+
+def test_cg_c_output_is_pinned():
+    produced = compile_source(conjugate_gradient(n=64, iters=5).source,
+                              name="cg").c_source
+    with open(GOLDEN, encoding="utf-8") as fh:
+        golden = fh.read()
+    assert produced == golden
+
+
+def test_golden_file_hits_every_paper_construct():
+    with open(GOLDEN, encoding="utf-8") as fh:
+        text = fh.read()
+    # the CG kernel exercises: matvec, fused dots, fused loops, for loop
+    assert "ML_matrix_multiply" in text
+    assert "ML_dot(" in text
+    assert "ML_local_els" in text
+    assert "for (i = 1; i <= iters; i += 1) {" in text

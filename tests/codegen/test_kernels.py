@@ -1,0 +1,87 @@
+"""Fused-kernel library tests: polymorphic over scalars and arrays,
+MATLAB numeric semantics."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import kernels as K
+
+
+class TestArithmetic:
+    def test_add_scalars_and_arrays(self):
+        assert K.add(2.0, 3.0) == 5.0
+        np.testing.assert_array_equal(K.add(np.ones(3), 1.0), [2, 2, 2])
+
+    def test_div_by_zero_yields_inf(self):
+        assert K.div(1.0, 0.0) == np.inf
+        out = K.div(np.array([1.0, -1.0]), np.zeros(2))
+        np.testing.assert_array_equal(out, [np.inf, -np.inf])
+
+    def test_ldiv_swaps(self):
+        assert K.ldiv(2.0, 10.0) == 5.0
+
+    def test_pow_negative_base_fraction_goes_complex(self):
+        out = K.pow_(np.array([-8.0]), np.array([1.0 / 3.0]))
+        assert np.iscomplexobj(out)
+
+    def test_pow_integer_exponent_stays_real(self):
+        out = K.pow_(np.array([-2.0]), np.array([2.0]))
+        assert not np.iscomplexobj(out)
+        assert out[0] == 4.0
+
+    def test_neg_pos(self):
+        assert K.neg(3.0) == -3.0
+        assert K.pos(-3.0) == -3.0
+
+
+class TestComparisonsAndLogic:
+    def test_comparisons_return_float(self):
+        assert K.lt(1.0, 2.0) == 1.0
+        assert K.ge(1.0, 2.0) == 0.0
+        out = K.eq(np.array([1.0, 2.0]), np.array([1.0, 3.0]))
+        assert out.dtype.kind == "f"
+        np.testing.assert_array_equal(out, [1.0, 0.0])
+
+    def test_complex_ordering_uses_real_part(self):
+        # MATLAB compares real parts for < / >
+        assert K.lt(1 + 9j, 2 + 0j) == 1.0
+
+    def test_logicals(self):
+        assert K.land(1.0, 0.0) == 0.0
+        assert K.lor(1.0, 0.0) == 1.0
+        assert K.lnot(0.0) == 1.0
+        np.testing.assert_array_equal(
+            K.land(np.array([1.0, 2.0]), np.array([0.0, 5.0])), [0.0, 1.0])
+
+
+class TestIdx:
+    def test_accepts_float_subscript(self):
+        assert K.idx(3.0) == 3
+        assert K.idx(np.array([[7.0]])) == 7
+
+    def test_rejects_fractional(self):
+        with pytest.raises(ValueError):
+            K.idx(2.5)
+
+    def test_rejects_vector(self):
+        with pytest.raises(ValueError):
+            K.idx(np.array([1.0, 2.0]))
+
+    def test_tolerates_fp_noise(self):
+        assert K.idx(3.0000000000001) == 3
+
+
+class TestNamedFunctions:
+    def test_fn_lookup(self):
+        assert K.fn("sqrt")(4.0) == 2.0
+        assert K.fn("mod")(7.0, 3.0) == 1.0
+
+    def test_sqrt_negative_scalar(self):
+        out = K.fn("sqrt")(-4.0)
+        assert complex(out) == 2j
+
+    def test_every_registered_elementwise_has_kernel(self):
+        from repro.ir.lower import _EW_BUILTINS
+
+        for name in _EW_BUILTINS:
+            assert name in K.FUNCS, name

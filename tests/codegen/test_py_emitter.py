@@ -1,0 +1,133 @@
+"""Python-backend emission tests."""
+
+import pytest
+
+from repro.compiler import compile_source
+
+
+def py_of(src, **kw):
+    return compile_source(src, **kw).python_source
+
+
+class TestShape:
+    def test_defines_main(self):
+        py = py_of("x = 1;")
+        assert "def main(rt):" in py
+        assert compile(py, "<gen>", "exec")  # syntactically valid
+
+    def test_variables_mangled(self):
+        py = py_of("lambda_ = 1;\nclass_ = 2;")
+        assert "v_lambda_" in py and "v_class_" in py
+
+    def test_none_prologue(self):
+        py = py_of("if 1 > 0\n x = 1;\nend\ny = 2;")
+        assert "v_x = None" in py
+
+    def test_workspace_returned(self):
+        py = py_of("abc = 1;")
+        assert "'abc': v_abc" in py
+
+    def test_fused_lambda_single_ew_call(self):
+        py = py_of("a = ones(3, 3);\nb = ones(3, 3);\n"
+                   "c = sqrt(a) + b .* a;")
+        line = [ln for ln in py.splitlines()
+                if "v_c = rt.ew" in ln][0]
+        assert line.count("rt.ew(") == 1
+        assert "K.fn('sqrt')" in line
+        assert "K.add" in line and "K.mul" in line
+
+    def test_matmul_call(self):
+        py = py_of("a = ones(3, 3);\nb = a * a;")
+        assert "rt.matmul(v_a, v_a)" in py
+
+    def test_broadcast_element_zero_based(self):
+        py = py_of("d = ones(4, 4);\ni = 2;\nx = d(i, 2);")
+        assert "rt.element(v_d, K.idx(v_i) - 1, K.idx(2.0) - 1)" in py
+
+    def test_guarded_store(self):
+        py = py_of("a = zeros(4, 4);\na(2, 2) = 5;")
+        assert "rt.set_element(v_a, [2.0, 2.0], 5.0)" in py
+
+    def test_loop_range(self):
+        py = py_of("for i = 1:10\n x = i;\nend")
+        assert "for v_i in rt.loop_range(1.0, 1.0, 10.0):" in py
+
+    def test_while_re_evaluates_condition(self):
+        py = py_of("x = ones(3, 1);\nwhile sum(x) < 10\n x = x + 1;\nend")
+        # the sum call must appear inside the while body (re-evaluated)
+        lines = py.splitlines()
+        wi = next(i for i, ln in enumerate(lines) if "while True:" in ln)
+        assert any("call_builtin('sum'" in ln for ln in lines[wi:wi + 3])
+
+    def test_user_function_definition(self):
+        from repro.frontend.mfile import DictProvider
+
+        py = py_of("y = f(1);", provider=DictProvider({
+            "f": "function y = f(x)\ny = x + 1;"}))
+        assert "def fn_f(rt, v_x=None):" in py
+        assert "fn_f(rt, 1.0)[0]" in py
+
+    def test_multi_output_builtin(self):
+        py = py_of("a = ones(3, 4);\n[r, c] = size(a);")
+        assert "rt.call_builtin('size', [v_a], 2)" in py
+
+    def test_globals_through_rt(self):
+        py = py_of("global g\ng = 5;\nx = g + 1;")
+        assert "rt.globals['g']" in py
+
+    def test_deterministic(self):
+        src = "a = rand(5, 5);\nb = a' * a;\ns = sum(sum(b));"
+        assert py_of(src) == py_of(src)
+
+
+class TestGeneratedSemantics:
+    """Spot-check behaviours that only show up at run time."""
+
+    def test_break_and_continue(self, run_compiled):
+        ws, _ = run_compiled("""
+s = 0;
+for i = 1:10
+    if i == 4, continue, end
+    if i == 8, break, end
+    s = s + i;
+end
+""")
+        assert ws["s"] == 1 + 2 + 3 + 5 + 6 + 7
+
+    def test_return_from_function(self, run_compiled):
+        from repro.frontend.mfile import DictProvider
+
+        ws, _ = run_compiled("y = sgn(-5);", provider=DictProvider({
+            "sgn": """function y = sgn(x)
+if x < 0
+    y = -1;
+    return
+end
+y = 1;
+"""}))
+        assert ws["y"] == -1.0
+
+    def test_globals_shared_with_functions(self, run_compiled):
+        from repro.frontend.mfile import DictProvider
+
+        ws, _ = run_compiled("""
+global total
+total = 0;
+acc(5);
+acc(7);
+x = total;
+""", provider=DictProvider({
+            "acc": "function acc(v)\nglobal total\ntotal = total + v;"}))
+        assert ws["x"] == 12.0
+
+    def test_empty_branch_bodies(self, run_compiled):
+        ws, _ = run_compiled("x = 1;\nif x > 0\nend\ny = 2;")
+        assert ws["y"] == 2.0
+
+    def test_nested_function_calls(self, run_compiled):
+        from repro.frontend.mfile import DictProvider
+
+        ws, _ = run_compiled("y = outer(3);", provider=DictProvider({
+            "outer": "function y = outer(x)\ny = inner(x) * 2;",
+            "inner": "function y = inner(x)\ny = x + 10;"}))
+        assert ws["y"] == 26.0

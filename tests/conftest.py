@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import OtterCompiler, compile_source
+from repro.interp.interpreter import run_source
+
+
+@pytest.fixture(scope="session")
+def compiler():
+    return OtterCompiler()
+
+
+@pytest.fixture
+def run_interp():
+    """Run a script in the reference interpreter, return the interpreter."""
+    return run_source
+
+
+@pytest.fixture
+def run_compiled():
+    """Compile + run a script, return (workspace, output)."""
+
+    def _run(source, nprocs=1, provider=None, **kw):
+        program = compile_source(source, provider=provider)
+        result = program.run(nprocs=nprocs, **kw)
+        return result.workspace, result.output
+
+    return _run
+
+
+@pytest.fixture
+def assert_matches_oracle(run_interp, run_compiled):
+    """Differential check: compiled (at several P) == interpreter."""
+
+    def _check(source, nprocs=(1, 3), provider=None, rtol=1e-9, atol=1e-12):
+        interp = run_interp(source, provider=provider)
+        oracle_ws = interp.workspace
+        oracle_out = "".join(interp.output)
+        for p in nprocs:
+            ws, out = run_compiled(source, nprocs=p, provider=provider)
+            for name, expected in oracle_ws.items():
+                assert name in ws, f"P={p}: missing variable {name!r}"
+                got = ws[name]
+                if isinstance(expected, str):
+                    assert got == expected, f"P={p}: {name}"
+                else:
+                    np.testing.assert_allclose(
+                        np.asarray(got, dtype=complex),
+                        np.asarray(expected, dtype=complex),
+                        rtol=rtol, atol=atol,
+                        err_msg=f"P={p}: variable {name!r}")
+            if p == 1:
+                assert out == oracle_out
+        return oracle_ws
+
+    return _check

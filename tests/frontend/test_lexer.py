@@ -1,0 +1,160 @@
+"""Scanner unit tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.frontend.lexer import tokenize
+from repro.frontend.tokens import TokenKind as T
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)][:-1]  # drop EOF
+
+
+def test_empty_input():
+    toks = tokenize("")
+    assert len(toks) == 1 and toks[0].kind is T.EOF
+
+
+def test_simple_assignment():
+    assert kinds("x = 3") == [T.IDENT, T.ASSIGN, T.NUMBER]
+
+
+def test_integer_and_float_literals():
+    toks = tokenize("3 3.5 .5 3. 1e3 2.5e-2 7E+2")
+    values = [t.value for t in toks if t.kind is T.NUMBER]
+    assert values == [3.0, 3.5, 0.5, 3.0, 1000.0, 0.025, 700.0]
+
+
+def test_imaginary_literals():
+    toks = tokenize("3i 2.5j 1e2i")
+    assert all(t.kind is T.IMAG_NUMBER for t in toks[:-1])
+    assert [t.value for t in toks[:-1]] == [3.0, 2.5, 100.0]
+
+
+def test_ident_starting_with_i_is_not_imaginary():
+    toks = tokenize("3in")  # `3` then ident `in`... lexed as NUMBER, IDENT
+    assert toks[0].kind is T.NUMBER
+    assert toks[1].kind is T.IDENT and toks[1].text == "in"
+
+
+def test_malformed_exponent_raises():
+    with pytest.raises(LexError):
+        tokenize("1e+")
+
+
+def test_keywords_recognized():
+    assert kinds("if else elseif end for while break continue return") == [
+        T.IF, T.ELSE, T.ELSEIF, T.END, T.FOR, T.WHILE, T.BREAK,
+        T.CONTINUE, T.RETURN]
+
+
+def test_function_keyword_and_switch():
+    assert kinds("function switch case otherwise global") == [
+        T.FUNCTION, T.SWITCH, T.CASE, T.OTHERWISE, T.GLOBAL]
+
+
+def test_keyword_prefix_is_ident():
+    toks = tokenize("iffy, ending")
+    assert toks[0].kind is T.IDENT and toks[0].text == "iffy"
+    assert toks[2].kind is T.IDENT and toks[2].text == "ending"
+
+
+def test_two_char_operators():
+    assert kinds("== ~= <= >= && || .* ./ .^ .'") == [
+        T.EQ, T.NE, T.LE, T.GE, T.ANDAND, T.OROR,
+        T.DOTSTAR, T.DOTSLASH, T.DOTCARET, T.DOTTRANSPOSE]
+
+
+def test_dot_backslash():
+    assert kinds("a .\\ b") == [T.IDENT, T.DOTBACKSLASH, T.IDENT]
+
+
+def test_one_char_operators():
+    assert kinds("+ - * / \\ ^ < > & | ~ : ; , @") == [
+        T.PLUS, T.MINUS, T.STAR, T.SLASH, T.BACKSLASH, T.CARET,
+        T.LT, T.GT, T.AND, T.OR, T.NOT, T.COLON, T.SEMI, T.COMMA, T.AT]
+
+
+class TestQuoteDisambiguation:
+    def test_string_after_assign(self):
+        toks = tokenize("x = 'hello'")
+        assert toks[2].kind is T.STRING and toks[2].value == "hello"
+
+    def test_transpose_after_ident(self):
+        assert kinds("x'") == [T.IDENT, T.TRANSPOSE]
+
+    def test_transpose_after_rparen(self):
+        assert kinds("(x)'") == [T.LPAREN, T.IDENT, T.RPAREN, T.TRANSPOSE]
+
+    def test_transpose_after_rbracket(self):
+        assert kinds("[1]'") == [T.LBRACKET, T.NUMBER, T.RBRACKET,
+                                 T.TRANSPOSE]
+
+    def test_transpose_after_number(self):
+        assert kinds("3'") == [T.NUMBER, T.TRANSPOSE]
+
+    def test_double_transpose(self):
+        assert kinds("x''") == [T.IDENT, T.TRANSPOSE, T.TRANSPOSE]
+
+    def test_string_after_comma(self):
+        toks = tokenize("f(x, 'mode')")
+        assert toks[4].kind is T.STRING
+
+    def test_string_escaped_quote(self):
+        toks = tokenize("x = 'it''s'")
+        assert toks[2].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("x = 'oops")
+
+    def test_string_not_across_newline(self):
+        with pytest.raises(LexError):
+            tokenize("x = 'one\ntwo'")
+
+
+class TestCommentsAndContinuation:
+    def test_comment_to_eol(self):
+        assert kinds("x = 1 % comment here\ny = 2") == [
+            T.IDENT, T.ASSIGN, T.NUMBER, T.NEWLINE,
+            T.IDENT, T.ASSIGN, T.NUMBER]
+
+    def test_comment_only_line(self):
+        assert kinds("% nothing\n") == [T.NEWLINE]
+
+    def test_continuation_swallows_newline(self):
+        assert kinds("x = 1 + ...\n    2") == [
+            T.IDENT, T.ASSIGN, T.NUMBER, T.PLUS, T.NUMBER]
+
+    def test_continuation_with_trailing_comment(self):
+        assert kinds("x = 1 + ... this is ignored\n 2") == [
+            T.IDENT, T.ASSIGN, T.NUMBER, T.PLUS, T.NUMBER]
+
+    def test_percent_inside_string_is_text(self):
+        toks = tokenize("fprintf('100%%')")
+        assert toks[2].kind is T.STRING and toks[2].value == "100%%"
+
+
+class TestNumbersVsOperators:
+    def test_number_dot_star_is_op(self):
+        # `2.*x` is 2 .* x, not 2. * x ambiguity — both parse the same
+        assert kinds("2.*x") == [T.NUMBER, T.DOTSTAR, T.IDENT]
+
+    def test_number_dot_caret(self):
+        assert kinds("2.^x") == [T.NUMBER, T.DOTCARET, T.IDENT]
+
+    def test_range_of_numbers(self):
+        assert kinds("1:10") == [T.NUMBER, T.COLON, T.NUMBER]
+
+
+def test_locations_track_lines_and_columns():
+    toks = tokenize("x = 1\ny = 2")
+    assert toks[0].loc.line == 1 and toks[0].loc.col == 1
+    y = [t for t in toks if t.text == "y"][0]
+    assert y.loc.line == 2 and y.loc.col == 1
+
+
+def test_unexpected_character():
+    with pytest.raises(LexError):
+        tokenize("x = $")

@@ -1,0 +1,293 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import ast_nodes as A
+from repro.frontend.parser import (
+    parse_expression,
+    parse_function_file,
+    parse_script,
+)
+
+
+class TestExpressions:
+    def test_number(self):
+        e = parse_expression("42")
+        assert isinstance(e, A.Num) and e.value == 42.0
+
+    def test_precedence_mul_over_add(self):
+        e = parse_expression("1 + 2 * 3")
+        assert isinstance(e, A.BinOp) and e.op == "+"
+        assert isinstance(e.rhs, A.BinOp) and e.rhs.op == "*"
+
+    def test_unary_minus_binds_looser_than_power(self):
+        e = parse_expression("-2^2")  # == -(2^2)
+        assert isinstance(e, A.UnaryOp) and e.op == "-"
+        assert isinstance(e.operand, A.BinOp) and e.operand.op == "^"
+
+    def test_power_accepts_signed_exponent(self):
+        e = parse_expression("2^-1")
+        assert isinstance(e, A.BinOp) and e.op == "^"
+        assert isinstance(e.rhs, A.UnaryOp)
+
+    def test_colon_binds_looser_than_plus(self):
+        e = parse_expression("1:n+1")
+        assert isinstance(e, A.Range)
+        assert isinstance(e.stop, A.BinOp) and e.stop.op == "+"
+
+    def test_three_part_range(self):
+        e = parse_expression("0:0.5:10")
+        assert isinstance(e, A.Range)
+        assert isinstance(e.step, A.Num) and e.step.value == 0.5
+
+    def test_comparison_below_range(self):
+        e = parse_expression("1:3 == 2")
+        assert isinstance(e, A.BinOp) and e.op == "=="
+        assert isinstance(e.lhs, A.Range)
+
+    def test_logical_precedence(self):
+        e = parse_expression("a & b | c")
+        assert e.op == "|"
+
+    def test_short_circuit_precedence(self):
+        e = parse_expression("a && b || c")
+        assert e.op == "||"
+
+    def test_transpose_postfix(self):
+        e = parse_expression("a'")
+        assert isinstance(e, A.Transpose) and e.conjugate
+
+    def test_nonconj_transpose(self):
+        e = parse_expression("a.'")
+        assert isinstance(e, A.Transpose) and not e.conjugate
+
+    def test_transpose_of_apply(self):
+        e = parse_expression("a(1, :)'")
+        assert isinstance(e, A.Transpose)
+        assert isinstance(e.operand, A.Apply)
+
+    def test_apply_args(self):
+        e = parse_expression("f(x, 3, :)")
+        assert isinstance(e, A.Apply) and len(e.args) == 3
+        assert isinstance(e.args[2], A.Colon)
+
+    def test_end_in_subscript(self):
+        e = parse_expression("a(end - 1)")
+        assert isinstance(e.args[0], A.BinOp)
+        assert isinstance(e.args[0].lhs, A.EndRef)
+
+    def test_nested_parens(self):
+        e = parse_expression("((1 + 2)) * 3")
+        assert e.op == "*"
+
+    def test_string_literal(self):
+        e = parse_expression("'hi'")
+        assert isinstance(e, A.Str) and e.value == "hi"
+
+    def test_chained_power_left_assoc(self):
+        e = parse_expression("2^3^2")
+        assert e.op == "^" and isinstance(e.lhs, A.BinOp)
+
+    def test_matrix_power_of_transpose(self):
+        e = parse_expression("a' * a")
+        assert e.op == "*"
+        assert isinstance(e.lhs, A.Transpose)
+
+
+class TestMatrixLiterals:
+    def test_row(self):
+        e = parse_expression("[1, 2, 3]")
+        assert isinstance(e, A.MatrixLit)
+        assert len(e.rows) == 1 and len(e.rows[0]) == 3
+
+    def test_rows_by_semicolon(self):
+        e = parse_expression("[1, 2; 3, 4]")
+        assert len(e.rows) == 2
+
+    def test_rows_by_newline(self):
+        e = parse_expression("[1, 2\n3, 4]")
+        assert len(e.rows) == 2
+
+    def test_empty(self):
+        e = parse_expression("[]")
+        assert e.rows == []
+
+    def test_nested_expressions(self):
+        e = parse_expression("[a + 1, f(2); c', 4]")
+        assert len(e.rows) == 2 and len(e.rows[0]) == 2
+
+    def test_whitespace_delimiting_rejected(self):
+        # The paper: commas are required between list elements.
+        with pytest.raises(ParseError):
+            parse_expression("[1 2, 3]")
+
+    def test_continuation_inside_literal(self):
+        e = parse_expression("[1, 2, ...\n 3]")
+        assert len(e.rows[0]) == 3
+
+    def test_trailing_semicolon_row(self):
+        e = parse_expression("[1, 2;]")
+        assert len(e.rows) == 1
+
+
+class TestStatements:
+    def test_assignment_display_control(self):
+        s = parse_script("x = 1;\ny = 2\n")
+        assert not s.body[0].display
+        assert s.body[1].display
+
+    def test_expression_statement(self):
+        s = parse_script("3 + 4;")
+        assert isinstance(s.body[0], A.ExprStmt)
+
+    def test_indexed_assignment(self):
+        s = parse_script("a(2, 3) = 7;")
+        stmt = s.body[0]
+        assert isinstance(stmt.target, A.IndexLValue)
+        assert stmt.target.name == "a" and len(stmt.target.args) == 2
+
+    def test_multi_assign(self):
+        s = parse_script("[r, c] = size(a);")
+        stmt = s.body[0]
+        assert isinstance(stmt, A.MultiAssign)
+        assert [t.name for t in stmt.targets] == ["r", "c"]
+
+    def test_multi_assign_requires_call(self):
+        with pytest.raises(ParseError):
+            parse_script("[a, b] = 3;")
+
+    def test_matrix_literal_stmt_not_multiassign(self):
+        s = parse_script("[1, 2];")
+        assert isinstance(s.body[0], A.ExprStmt)
+
+    def test_if_elseif_else(self):
+        s = parse_script("""
+if a > 0
+    x = 1;
+elseif a < 0
+    x = 2;
+else
+    x = 3;
+end
+""")
+        stmt = s.body[0]
+        assert isinstance(stmt, A.If)
+        assert len(stmt.branches) == 2 and len(stmt.orelse) == 1
+
+    def test_single_line_if(self):
+        s = parse_script("if a > 0, x = 1; end")
+        assert isinstance(s.body[0], A.If)
+
+    def test_for_loop(self):
+        s = parse_script("for i = 1:10\n    x = i;\nend")
+        stmt = s.body[0]
+        assert isinstance(stmt, A.For) and stmt.var == "i"
+        assert isinstance(stmt.iterable, A.Range)
+
+    def test_while_with_break_continue(self):
+        s = parse_script("""
+while x < 10
+    if x == 5, break, end
+    if x == 3, continue, end
+    x = x + 1;
+end
+""")
+        stmt = s.body[0]
+        assert isinstance(stmt, A.While)
+
+    def test_switch(self):
+        s = parse_script("""
+switch mode
+case 1
+    x = 1;
+case {2, 3}
+    x = 2;
+otherwise
+    x = 0;
+end
+""")
+        stmt = s.body[0]
+        assert isinstance(stmt, A.Switch)
+        assert len(stmt.cases) == 2
+        assert len(stmt.cases[1][0]) == 2  # {2, 3}
+        assert len(stmt.otherwise) == 1
+
+    def test_global(self):
+        s = parse_script("global a, b = 1;")
+        assert isinstance(s.body[0], A.Global)
+        assert s.body[0].names == ["a"]
+
+    def test_missing_end_raises(self):
+        with pytest.raises(ParseError):
+            parse_script("for i = 1:3\n x = i;")
+
+    def test_return_in_script(self):
+        s = parse_script("x = 1;\nreturn\ny = 2;")
+        assert isinstance(s.body[1], A.Return)
+
+
+class TestFunctionFiles:
+    def test_single_output(self):
+        funcs = parse_function_file("function y = f(x)\ny = x + 1;\n")
+        assert funcs[0].name == "f"
+        assert funcs[0].params == ["x"] and funcs[0].returns == ["y"]
+
+    def test_multiple_outputs(self):
+        funcs = parse_function_file(
+            "function [a, b] = f(x, y)\na = x;\nb = y;\n")
+        assert funcs[0].returns == ["a", "b"]
+        assert funcs[0].params == ["x", "y"]
+
+    def test_no_output(self):
+        funcs = parse_function_file("function show(x)\ndisp(x);\n")
+        assert funcs[0].returns == []
+
+    def test_no_params(self):
+        funcs = parse_function_file("function y = f\ny = 42;\n")
+        assert funcs[0].params == []
+
+    def test_subfunctions(self):
+        funcs = parse_function_file("""
+function y = main(x)
+y = helper(x) * 2;
+
+function z = helper(x)
+z = x + 1;
+""")
+        assert [f.name for f in funcs] == ["main", "helper"]
+
+    def test_script_is_not_function_file(self):
+        with pytest.raises(ParseError):
+            parse_function_file("x = 1;")
+
+
+def test_parse_unit_dispatch():
+    from repro.frontend.lexer import tokenize
+    from repro.frontend.parser import Parser
+
+    unit = Parser(tokenize("function y = f(x)\ny = x;")).parse_unit("f")
+    assert isinstance(unit, list)
+    unit2 = Parser(tokenize("x = 3;")).parse_unit("s")
+    assert isinstance(unit2, A.Script)
+
+
+def test_deeply_nested_structures():
+    s = parse_script("""
+for i = 1:3
+    for j = 1:3
+        if i == j
+            while x < i
+                x = x + 1;
+            end
+        end
+    end
+end
+""")
+    assert isinstance(s.body[0], A.For)
+
+
+def test_comma_separated_statements():
+    s = parse_script("a = 1, b = 2; c = 3\n")
+    assert len(s.body) == 3
+    assert s.body[0].display and not s.body[1].display

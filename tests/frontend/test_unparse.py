@@ -1,0 +1,157 @@
+"""Unparser round-trip tests: parse(unparse(parse(src))) == parse(src)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import ast_nodes as A
+from repro.frontend.parser import (
+    parse_expression,
+    parse_function_file,
+    parse_script,
+)
+from repro.frontend.unparse import unparse, unparse_expr, unparse_script
+
+
+def ast_equal(a, b) -> bool:
+    """Structural AST equality (locations excluded by the dataclasses)."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, A.Node):
+        fields = [f for f in a.__dataclass_fields__ if f != "loc"]
+        return all(ast_equal(getattr(a, f), getattr(b, f)) for f in fields)
+    if isinstance(a, (list, tuple)):
+        return (len(a) == len(b)
+                and all(ast_equal(x, y) for x, y in zip(a, b)))
+    if isinstance(a, dict):
+        return (a.keys() == b.keys()
+                and all(ast_equal(a[k], b[k]) for k in a))
+    return a == b
+
+
+def roundtrip_expr(src):
+    first = parse_expression(src)
+    text = unparse_expr(first)
+    second = parse_expression(text)
+    assert ast_equal(first, second), f"{src!r} -> {text!r}"
+    return text
+
+
+def roundtrip_script(src):
+    first = parse_script(src)
+    text = unparse_script(first)
+    second = parse_script(text)
+    assert ast_equal(first, second), f"round-trip failed:\n{text}"
+    return text
+
+
+EXPRESSIONS = [
+    "1 + 2 * 3",
+    "-2^2",
+    "2^-1",
+    "(1 + 2) * 3",
+    "a' * a",
+    "a.' + b'",
+    "x(2:end, :)",
+    "f(g(h(1)), 2)",
+    "[1, 2; 3, 4]",
+    "[a + 1, b'; c(2), 4]",
+    "1:10",
+    "0:0.5:10",
+    "1:n+1",
+    "a & b | c",
+    "x && y || z",
+    "~(a == b)",
+    "a ./ b .* c .^ 2",
+    "a \\ b",
+    "a .\\ b",
+    "3i + 2",
+    "'it''s'",
+    "m(end-1, end)",
+    "-x'",
+    "a(:)",
+]
+
+
+@pytest.mark.parametrize("src", EXPRESSIONS)
+def test_expression_roundtrip(src):
+    roundtrip_expr(src)
+
+
+SCRIPTS = [
+    "x = 1;\ny = x + 2\n",
+    "a(2, 3) = 7;\nb = a(1, :);",
+    "[r, c] = size(ones(3, 4));",
+    "if x > 0\n  y = 1;\nelseif x < 0\n  y = 2;\nelse\n  y = 3;\nend",
+    "for i = 1:10\n  s = s + i;\nend",
+    "while x < 5\n  x = x + 1;\n  if x == 3, break, end\nend",
+    "switch m\ncase 1\n  x = 1;\ncase {2, 3}\n  x = 2;\notherwise\n"
+    "  x = 0;\nend",
+    "global a, b\nreturn",
+    "for i = 1:3\n  continue\nend",
+    "disp('hi');\nfprintf('%d\\n', 3);",
+]
+
+
+@pytest.mark.parametrize("idx", range(len(SCRIPTS)))
+def test_script_roundtrip(idx):
+    roundtrip_script(SCRIPTS[idx])
+
+
+def test_function_roundtrip():
+    src = """function [a, b] = f(x, y)
+a = x + y;
+b = helper(x);
+
+function z = helper(q)
+z = q * 2;
+"""
+    funcs = parse_function_file(src)
+    text = unparse(funcs)
+    again = parse_function_file(text)
+    assert ast_equal(funcs, again)
+
+
+def test_unparsed_output_is_comma_delimited():
+    text = roundtrip_expr("[1, 2, 3]")
+    assert ", " in text
+
+
+# ---------------------------------------------------------------------- #
+# property-based round trip on generated expression trees
+# ---------------------------------------------------------------------- #
+
+_names = st.sampled_from(["a", "b", "c", "x", "y"])
+
+
+@st.composite
+def expr_trees(draw, depth=0):
+    if depth > 3 or draw(st.integers(0, 2)) == 0:
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return A.Num(value=float(draw(st.integers(0, 99))))
+        if choice == 1:
+            return A.Ident(name=draw(_names))
+        return A.Apply(name=draw(_names),
+                       args=[draw(expr_trees(depth=depth + 1))])
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        op = draw(st.sampled_from(["+", "-", "*", "/", ".*", "./",
+                                   "==", "<", "&", "|", "^"]))
+        return A.BinOp(op=op, lhs=draw(expr_trees(depth=depth + 1)),
+                       rhs=draw(expr_trees(depth=depth + 1)))
+    if kind == 1:
+        return A.UnaryOp(op=draw(st.sampled_from(["-", "~"])),
+                         operand=draw(expr_trees(depth=depth + 1)))
+    if kind == 2:
+        return A.Transpose(operand=draw(expr_trees(depth=depth + 1)),
+                           conjugate=draw(st.booleans()))
+    return A.MatrixLit(rows=[[draw(expr_trees(depth=depth + 1))
+                              for _ in range(draw(st.integers(1, 3)))]])
+
+
+@given(expr_trees())
+@settings(max_examples=150)
+def test_generated_tree_roundtrip(tree):
+    text = unparse_expr(tree)
+    again = parse_expression(text)
+    assert ast_equal(tree, again), text

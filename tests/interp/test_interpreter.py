@@ -1,0 +1,285 @@
+"""Reference-interpreter behaviour tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MatlabRuntimeError
+from repro.frontend.mfile import DictProvider
+from repro.interp.interpreter import run_source
+
+
+def ws(src, **kw):
+    return run_source(src, **kw).workspace
+
+
+def out(src, **kw):
+    return "".join(run_source(src, **kw).output)
+
+
+class TestBasics:
+    def test_arithmetic(self):
+        w = ws("x = 2 + 3 * 4;")
+        assert w["x"] == 14.0
+
+    def test_matlab_division_semantics(self):
+        w = ws("x = 1 / 0;")
+        assert w["x"] == float("inf")
+
+    def test_negative_sqrt_goes_complex(self):
+        w = ws("z = sqrt(-4);")
+        assert w["z"] == 2j
+
+    def test_negative_fractional_power_complex(self):
+        w = ws("z = (-8) ^ (1/3);")
+        assert abs(w["z"] - (1 + 1.7320508j)) < 1e-6
+
+    def test_ans_assignment(self):
+        w = ws("3 + 4;")
+        assert w["ans"] == 7.0
+
+    def test_string_variable(self):
+        w = ws("s = 'hello';")
+        assert w["s"] == "hello"
+
+    def test_logical_ops(self):
+        w = ws("a = 1 & 0;\nb = 1 | 0;\nc = ~1;\nd = 2 > 1;")
+        assert (w["a"], w["b"], w["c"], w["d"]) == (0.0, 1.0, 0.0, 1.0)
+
+    def test_short_circuit_and(self):
+        # RHS would error if evaluated
+        w = ws("x = 0 && undefined_thing_never_touched(1);",
+               provider=DictProvider({
+                   "undefined_thing_never_touched":
+                       "function y = undefined_thing_never_touched(a)\n"
+                       "y = error('boom');"}))
+        assert w["x"] == 0.0
+
+    def test_transpose_conjugates(self):
+        w = ws("z = [1+2i, 3];\nt = z';\nu = z.';")
+        t = np.asarray(w["t"])
+        u = np.asarray(w["u"])
+        assert t[0, 0] == 1 - 2j
+        assert u[0, 0] == 1 + 2j
+
+
+class TestControlFlow:
+    def test_if_chain(self):
+        src = """
+x = {};
+if x > 5
+    y = 1;
+elseif x > 1
+    y = 2;
+else
+    y = 3;
+end
+"""
+        assert ws(src.replace("{}", "9"))["y"] == 1.0
+        assert ws(src.replace("{}", "3"))["y"] == 2.0
+        assert ws(src.replace("{}", "0"))["y"] == 3.0
+
+    def test_for_over_range(self):
+        w = ws("s = 0;\nfor i = 1:10\n s = s + i;\nend")
+        assert w["s"] == 55.0
+
+    def test_for_over_matrix_columns(self):
+        w = ws("A = [1, 2; 3, 4];\ns = 0;\nfor c = A\n s = s + sum(c);\nend")
+        assert w["s"] == 10.0
+
+    def test_for_negative_step(self):
+        w = ws("s = 0;\nfor i = 10:-2:1\n s = s + i;\nend")
+        assert w["s"] == 30.0
+
+    def test_while_break(self):
+        w = ws("x = 0;\nwhile 1\n x = x + 1;\n if x == 7, break, end\nend")
+        assert w["x"] == 7.0
+
+    def test_continue(self):
+        w = ws("""
+s = 0;
+for i = 1:10
+    if mod(i, 2) == 0
+        continue
+    end
+    s = s + i;
+end
+""")
+        assert w["s"] == 25.0
+
+    def test_switch_scalar(self):
+        w = ws("""
+mode = 2;
+switch mode
+case 1
+    x = 10;
+case {2, 3}
+    x = 20;
+otherwise
+    x = 0;
+end
+""")
+        assert w["x"] == 20.0
+
+    def test_switch_string(self):
+        w = ws("""
+mode = 'fast';
+switch mode
+case 'slow'
+    x = 1;
+case 'fast'
+    x = 2;
+end
+""")
+        assert w["x"] == 2.0
+
+    def test_nested_loops_with_break(self):
+        w = ws("""
+c = 0;
+for i = 1:3
+    for j = 1:5
+        if j == 3, break, end
+        c = c + 1;
+    end
+end
+""")
+        assert w["c"] == 6.0
+
+
+class TestFunctions:
+    def test_simple_call(self):
+        w = ws("y = double_it(21);", provider=DictProvider({
+            "double_it": "function y = double_it(x)\ny = 2 * x;"}))
+        assert w["y"] == 42.0
+
+    def test_multiple_outputs(self):
+        w = ws("[a, b] = swap(1, 2);", provider=DictProvider({
+            "swap": "function [a, b] = swap(x, y)\na = y;\nb = x;"}))
+        assert (w["a"], w["b"]) == (2.0, 1.0)
+
+    def test_local_scope(self):
+        w = ws("x = 5;\ny = f(1);", provider=DictProvider({
+            "f": "function y = f(a)\nx = 100;\ny = a + x;"}))
+        assert w["x"] == 5.0 and w["y"] == 101.0
+
+    def test_early_return(self):
+        w = ws("y = clamp(-3);", provider=DictProvider({
+            "clamp": """function y = clamp(x)
+y = x;
+if x < 0
+    y = 0;
+    return
+end
+y = y * 2;
+"""}))
+        assert w["y"] == 0.0
+
+    def test_recursion(self):
+        w = ws("y = fib(10);", provider=DictProvider({
+            "fib": """function y = fib(n)
+if n <= 2
+    y = 1;
+else
+    y = fib(n - 1) + fib(n - 2);
+end
+"""}))
+        assert w["y"] == 55.0
+
+    def test_unset_output_raises(self):
+        with pytest.raises(MatlabRuntimeError):
+            ws("y = f(1);", provider=DictProvider({
+                "f": "function y = f(x)\nz = x;"}))
+
+    def test_too_many_args_raises(self):
+        with pytest.raises(MatlabRuntimeError):
+            ws("y = f(1, 2);", provider=DictProvider({
+                "f": "function y = f(x)\ny = x;"}))
+
+    def test_globals_shared(self):
+        w = ws("""
+global counter
+counter = 0;
+bump;
+bump;
+x = counter;
+""", provider=DictProvider({
+            "bump": "function bump\nglobal counter\n"
+                    "counter = counter + 1;"}))
+        assert w["x"] == 2.0
+
+
+class TestOutput:
+    def test_display_format(self):
+        assert out("x = 5") == "x =\n" + "5".rjust(12) + "\n"
+
+    def test_suppressed(self):
+        assert out("x = 5;") == ""
+
+    def test_disp(self):
+        assert out("disp(7)") == "7".rjust(12) + "\n"
+
+    def test_fprintf_cycles_format(self):
+        text = out("fprintf('%d\\n', [1, 2, 3])")
+        assert text == "1\n2\n3\n"
+
+    def test_fprintf_mixed(self):
+        text = out("fprintf('%s=%g\\n', 'x', 2.5)")
+        assert text == "x=2.5\n"
+
+    def test_error_builtin(self):
+        with pytest.raises(MatlabRuntimeError, match="bad thing"):
+            out("error('bad thing %d', 7)")
+
+
+class TestIndexingPrograms:
+    def test_growth_in_loop(self):
+        w = ws("for i = 1:5\n v(i) = i * i;\nend")
+        np.testing.assert_array_equal(np.asarray(w["v"]),
+                                      [[1, 4, 9, 16, 25]])
+
+    def test_end_arithmetic(self):
+        w = ws("v = [10, 20, 30, 40];\nx = v(end - 1);")
+        assert w["x"] == 30.0
+
+    def test_matrix_end(self):
+        w = ws("a = [1, 2; 3, 4];\nx = a(end, end);\ny = a(end);")
+        assert w["x"] == 4.0 and w["y"] == 4.0
+
+    def test_slice_assignment(self):
+        w = ws("a = zeros(3, 3);\na(2, :) = [7, 8, 9];")
+        np.testing.assert_array_equal(np.asarray(w["a"])[1], [7, 8, 9])
+
+    def test_copy_semantics(self):
+        w = ws("a = [1, 2, 3];\nb = a;\nb(1) = 99;")
+        assert np.asarray(w["a"])[0, 0] == 1.0
+
+
+class TestDeterminism:
+    def test_seeded_rand_reproducible(self):
+        w1 = ws("rand('seed', 4);\nx = rand(3, 3);")
+        w2 = ws("rand('seed', 4);\nx = rand(3, 3);")
+        np.testing.assert_array_equal(np.asarray(w1["x"]),
+                                      np.asarray(w2["x"]))
+
+    def test_different_seeds_differ(self):
+        w1 = ws("rand('seed', 1);\nx = rand(2, 2);")
+        w2 = ws("rand('seed', 2);\nx = rand(2, 2);")
+        assert not np.array_equal(np.asarray(w1["x"]), np.asarray(w2["x"]))
+
+
+def test_cost_meter_accumulates():
+    from repro.interp.costmodel import CostMeter
+    from repro.mpi.machine import MEIKO_CS2
+
+    meter = CostMeter(MEIKO_CS2.cpu.interpreter_params())
+    run_source("a = rand(100, 100);\nb = a * a;\nc = b + a;", meter=meter)
+    assert meter.time > 0
+    assert meter.stmts == 3
+    # the matmul (2e6 flops) must dominate the elementwise add
+    flop_part = 2 * 100 ** 3 * meter.params.flop_time
+    assert meter.time > flop_part
+
+
+def test_undefined_variable_runtime_error():
+    with pytest.raises(MatlabRuntimeError):
+        # q is a variable (assigned later) but used before definition
+        ws("if 0\n q = 1;\nend\ny = q + 1;")

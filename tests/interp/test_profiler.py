@@ -1,0 +1,79 @@
+"""Line-profiler tests."""
+
+import pytest
+
+from repro.analysis.resolve import resolve_program
+from repro.frontend.parser import parse_script
+from repro.interp import CostMeter, Interpreter, LineProfiler
+from repro.mpi.machine import MEIKO_CS2
+
+
+def profile(src, seed=0):
+    program = resolve_program(parse_script(src))
+    profiler = LineProfiler()
+    meter = CostMeter(MEIKO_CS2.cpu.interpreter_params())
+    Interpreter(program, meter=meter, seed=seed,
+                profiler=profiler).run()
+    return profiler, meter
+
+
+def test_hot_line_identified():
+    src = """\
+n = 64;
+a = rand(n, n);
+b = a * a;
+c = 1 + 1;
+"""
+    profiler, meter = profile(src)
+    (fname, line), stats = profiler.hottest(1)[0]
+    assert line == 3  # the matmul dominates
+    assert stats.time > 0.5 * profiler.total_time()
+
+
+def _line(profiler, lineno):
+    for (fname, ln), stats in profiler.lines.items():
+        if ln == lineno:
+            return stats
+    raise KeyError(lineno)
+
+
+def test_hits_count_loop_iterations():
+    profiler, _ = profile("s = 0;\nfor i = 1:10\n s = s + i;\nend")
+    assert _line(profiler, 3).hits == 10
+
+
+def test_total_matches_meter_time():
+    profiler, meter = profile("a = rand(32, 32);\nb = a + a;\nc = sum(b);")
+    assert profiler.total_time() == pytest.approx(meter.time, rel=1e-9)
+
+
+def test_nested_statement_attribution():
+    """Inner statements are attributed to their own lines; control-flow
+    headers are not double-charged, so line times sum to the total."""
+    src = "t = zeros(16, 16);\nfor i = 1:5\n t = t + rand(16, 16);\nend\nz = 1;\n"
+    profiler, meter = profile(src)
+    inner = _line(profiler, 3)
+    assert inner.hits == 5
+    outer = _line(profiler, 2)   # the `for` header: exclusive time only
+    assert outer.time < inner.time
+    assert profiler.total_time() == pytest.approx(meter.time, rel=1e-9)
+
+
+def test_report_annotates_source():
+    src = "x = 1;\ny = x * 2;\n"
+    profiler, _ = profile(src)
+    text = profiler.report(src)
+    assert "x = 1;" in text and "y = x * 2;" in text
+    assert "%" in text
+
+
+def test_report_without_source_ranks_lines():
+    profiler, _ = profile("a = rand(8, 8);\nb = a * a;")
+    text = profiler.report()
+    assert "script" in text
+
+
+def test_disabled_profiler_records_nothing():
+    profiler = LineProfiler(enabled=False)
+    profiler.record("<script>", 1, 0.5)
+    assert not profiler.lines

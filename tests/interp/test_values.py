@@ -1,0 +1,221 @@
+"""MATLAB value-semantics tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MatlabRuntimeError
+from repro.interp.values import (
+    COLON,
+    as_matrix,
+    colon_range,
+    display,
+    format_value,
+    index_assign,
+    index_read,
+    is_scalar,
+    numel,
+    shape_of,
+    simplify,
+    truthy,
+)
+
+
+class TestConversion:
+    def test_scalar_to_matrix(self):
+        assert as_matrix(3.0).shape == (1, 1)
+
+    def test_1d_is_row(self):
+        assert as_matrix(np.array([1.0, 2.0])).shape == (1, 2)
+
+    def test_simplify_1x1(self):
+        assert simplify(np.array([[4.0]])) == 4.0
+        assert isinstance(simplify(np.array([[4.0]])), float)
+
+    def test_simplify_complex_with_zero_imag(self):
+        assert simplify(np.array([[2 + 0j]])) == 2.0
+        assert isinstance(simplify(np.array([[2 + 0j]])), float)
+
+    def test_simplify_keeps_complex(self):
+        v = simplify(np.array([[1 + 2j]]))
+        assert v == 1 + 2j
+
+    def test_string_shape(self):
+        assert shape_of("abc") == (1, 3)
+
+    def test_numel(self):
+        assert numel(np.ones((3, 4))) == 12
+        assert numel(7.5) == 1
+
+    def test_3d_rejected(self):
+        with pytest.raises(MatlabRuntimeError):
+            as_matrix(np.ones((2, 2, 2)))
+
+
+class TestTruthy:
+    def test_scalar(self):
+        assert truthy(1.0) and not truthy(0.0)
+
+    def test_all_nonzero_matrix(self):
+        assert truthy(np.ones((2, 2)))
+        assert not truthy(np.array([[1.0, 0.0]]))
+
+    def test_empty_is_false(self):
+        assert not truthy(np.zeros((0, 0)))
+
+    def test_string(self):
+        assert truthy("x") and not truthy("")
+
+
+class TestColonRange:
+    def test_simple(self):
+        np.testing.assert_array_equal(colon_range(1, 1, 5),
+                                      [[1, 2, 3, 4, 5]])
+
+    def test_fractional_step(self):
+        r = colon_range(0, 0.1, 1)
+        assert r.shape == (1, 11)
+        assert abs(r[0, -1] - 1.0) < 1e-12
+
+    def test_empty_when_backwards(self):
+        assert colon_range(5, 1, 1).size == 0
+
+    def test_negative_step(self):
+        np.testing.assert_array_equal(colon_range(5, -2, 1), [[5, 3, 1]])
+
+    def test_zero_step_raises(self):
+        with pytest.raises(MatlabRuntimeError):
+            colon_range(1, 0, 5)
+
+    def test_fp_endpoint_inclusion(self):
+        # the classic 0:0.1:0.3 must include 0.3
+        r = colon_range(0.0, 0.1, 0.3)
+        assert r.shape == (1, 4)
+
+
+class TestIndexRead:
+    def setup_method(self):
+        self.a = np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+
+    def test_scalar_2d(self):
+        assert index_read(self.a, [2.0, 3.0]) == 6.0
+
+    def test_linear_is_column_major(self):
+        # element 2 in column-major order is a(2,1) = 4
+        assert index_read(self.a, [2.0]) == 4.0
+
+    def test_row_slice(self):
+        np.testing.assert_array_equal(
+            index_read(self.a, [1.0, COLON]), [[1.0, 2.0, 3.0]])
+
+    def test_col_slice(self):
+        np.testing.assert_array_equal(
+            index_read(self.a, [COLON, 2.0]), [[2.0], [5.0]])
+
+    def test_colon_flattens_column_major(self):
+        flat = index_read(self.a, [COLON])
+        np.testing.assert_array_equal(np.asarray(flat).reshape(-1),
+                                      [1, 4, 2, 5, 3, 6])
+
+    def test_vector_index_keeps_orientation(self):
+        v = np.array([[10.0, 20.0, 30.0]])
+        out = index_read(v, [np.array([[3.0, 1.0]])])
+        np.testing.assert_array_equal(out, [[30.0, 10.0]])
+
+    def test_out_of_bounds(self):
+        with pytest.raises(MatlabRuntimeError):
+            index_read(self.a, [3.0, 1.0])
+
+    def test_zero_index_rejected(self):
+        with pytest.raises(MatlabRuntimeError):
+            index_read(self.a, [0.0])
+
+    def test_fractional_index_rejected(self):
+        with pytest.raises(MatlabRuntimeError):
+            index_read(self.a, [1.5])
+
+
+class TestIndexAssign:
+    def test_scalar_store(self):
+        a = np.zeros((2, 2))
+        out = as_matrix(index_assign(a, [1.0, 2.0], 9.0))
+        assert out[0, 1] == 9.0
+        assert a[0, 1] == 0.0  # original untouched (value semantics)
+
+    def test_grow_2d(self):
+        a = np.ones((2, 2))
+        out = as_matrix(index_assign(a, [4.0, 5.0], 7.0))
+        assert out.shape == (4, 5)
+        assert out[3, 4] == 7.0
+        assert out[2, 2] == 0.0  # zero fill
+
+    def test_create_from_none(self):
+        out = as_matrix(index_assign(None, [3.0], 5.0))
+        assert out.shape == (1, 3)
+        np.testing.assert_array_equal(out, [[0.0, 0.0, 5.0]])
+
+    def test_grow_row_vector_linear(self):
+        v = np.array([[1.0, 2.0]])
+        out = as_matrix(index_assign(v, [5.0], 9.0))
+        assert out.shape == (1, 5)
+
+    def test_grow_col_vector_linear(self):
+        v = np.array([[1.0], [2.0]])
+        out = as_matrix(index_assign(v, [4.0], 9.0))
+        assert out.shape == (4, 1)
+
+    def test_linear_growth_of_matrix_rejected(self):
+        a = np.ones((2, 2))
+        with pytest.raises(MatlabRuntimeError):
+            index_assign(a, [9.0], 1.0)
+
+    def test_block_store(self):
+        a = np.zeros((3, 3))
+        out = as_matrix(index_assign(
+            a, [np.array([[1.0, 2.0]]), COLON], np.ones((2, 3))))
+        np.testing.assert_array_equal(out[:2, :], np.ones((2, 3)))
+
+    def test_store_complex_promotes(self):
+        a = np.zeros((2, 2))
+        out = as_matrix(index_assign(a, [1.0, 1.0], 1j))
+        assert np.iscomplexobj(out)
+
+    def test_dimension_mismatch(self):
+        a = np.zeros((3, 3))
+        with pytest.raises(MatlabRuntimeError):
+            index_assign(a, [COLON, 1.0], np.ones((2, 1)))
+
+    def test_colon_assign_scalar_broadcast(self):
+        a = np.ones((2, 3))
+        out = as_matrix(index_assign(a, [COLON], 5.0))
+        np.testing.assert_array_equal(out, np.full((2, 3), 5.0))
+
+
+class TestDisplay:
+    def test_integer_formatting(self):
+        assert "3" in format_value(3.0)
+        assert "." not in format_value(3.0)
+
+    def test_float_formatting(self):
+        assert "3.5000" in format_value(3.5)
+
+    def test_matrix_rows(self):
+        text = format_value(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert len(text.splitlines()) == 2
+
+    def test_empty(self):
+        assert "[]" in format_value(np.zeros((0, 0)))
+
+    def test_nan_inf(self):
+        assert "NaN" in format_value(float("nan"))
+        assert "Inf" in format_value(float("inf"))
+        assert "-Inf" in format_value(float("-inf"))
+
+    def test_complex(self):
+        assert "i" in format_value(1 + 2j)
+
+    def test_display_block(self):
+        block = display("x", 3.0)
+        assert block.startswith("x =\n")
+
+    def test_string_passthrough(self):
+        assert format_value("hello") == "hello"

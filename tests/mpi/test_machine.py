@@ -1,0 +1,95 @@
+"""Machine-model tests."""
+
+import pytest
+
+from repro.mpi.machine import (
+    MACHINES,
+    MEIKO_CS2,
+    SPARC20_CLUSTER,
+    SUN_ENTERPRISE,
+    get_machine,
+)
+
+
+class TestTopology:
+    def test_meiko_is_flat(self):
+        assert MEIKO_CS2.node_of(0) == MEIKO_CS2.node_of(15) == 0
+        assert not MEIKO_CS2.spans_nodes(16)
+
+    def test_cluster_nodes(self):
+        assert SPARC20_CLUSTER.node_of(0) == 0
+        assert SPARC20_CLUSTER.node_of(3) == 0
+        assert SPARC20_CLUSTER.node_of(4) == 1
+        assert SPARC20_CLUSTER.node_of(15) == 3
+
+    def test_cluster_spans_beyond_four(self):
+        assert not SPARC20_CLUSTER.spans_nodes(4)
+        assert SPARC20_CLUSTER.spans_nodes(5)
+
+    def test_link_selection(self):
+        intra = SPARC20_CLUSTER.link_between(0, 3)
+        inter = SPARC20_CLUSTER.link_between(0, 4)
+        assert inter.latency > intra.latency
+        assert inter.bandwidth < intra.bandwidth
+
+
+class TestCosts:
+    def test_p2p_inter_node_slower(self):
+        fast = SPARC20_CLUSTER.p2p_time(0, 1, 8_000)
+        slow = SPARC20_CLUSTER.p2p_time(0, 5, 8_000)
+        assert slow > fast * 10
+
+    def test_collective_grows_with_procs(self):
+        t4 = MEIKO_CS2.collective_time("allgather", 1024, 4)
+        t16 = MEIKO_CS2.collective_time("allgather", 1024, 16)
+        assert t16 > t4
+
+    def test_collective_single_proc_free(self):
+        assert MEIKO_CS2.collective_time("bcast", 10**6, 1) == 0.0
+
+    def test_hierarchical_collective_cheaper_than_flat_ethernet(self):
+        # two-level collective must beat pretending all 16 ranks sit on
+        # the ethernet directly
+        two_level = SPARC20_CLUSTER.collective_time("bcast", 8192, 16)
+        flat = SPARC20_CLUSTER._flat_collective(
+            "bcast", 8192, 16, SPARC20_CLUSTER.inter_link, 3.0)
+        assert two_level < flat
+
+    def test_unknown_collective_rejected(self):
+        with pytest.raises(ValueError):
+            MEIKO_CS2.collective_time("gossip", 10, 4)
+
+    def test_bus_contention_slows_memory_work(self):
+        t1 = SUN_ENTERPRISE.compute_time(elems=10**6, active_cpus=1)
+        t8 = SUN_ENTERPRISE.compute_time(elems=10**6, active_cpus=8)
+        assert t8 > t1 * 1.5
+
+    def test_flops_not_contended(self):
+        t1 = SUN_ENTERPRISE.compute_time(flops=10**6, active_cpus=1)
+        t8 = SUN_ENTERPRISE.compute_time(flops=10**6, active_cpus=8)
+        assert t8 == t1
+
+    def test_meiko_no_bus_contention(self):
+        t1 = MEIKO_CS2.compute_time(elems=10**6, active_cpus=1)
+        t16 = MEIKO_CS2.compute_time(elems=10**6, active_cpus=16)
+        assert t16 == t1
+
+
+class TestInterpreterParams:
+    def test_interpreter_slower_than_compiled(self):
+        params = MEIKO_CS2.cpu.interpreter_params()
+        assert params.flop_time > MEIKO_CS2.cpu.flop_time
+        assert params.elem_time > MEIKO_CS2.cpu.elem_time
+
+    def test_registry(self):
+        assert set(MACHINES) == {"meiko", "enterprise", "cluster"}
+        assert get_machine("meiko") is MEIKO_CS2
+        with pytest.raises(KeyError):
+            get_machine("cray")
+
+
+def test_machine_cpu_counts_match_paper():
+    assert MEIKO_CS2.max_cpus == 16       # 16-CPU Meiko CS-2
+    assert SUN_ENTERPRISE.max_cpus == 8   # 8-CPU Sun Enterprise SMP
+    assert SPARC20_CLUSTER.max_cpus == 16  # four 4-CPU SPARCserver 20s
+    assert SPARC20_CLUSTER.cpus_per_node == 4

@@ -1,0 +1,97 @@
+"""Distribution-map tests (plus hypothesis properties)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DistributionError
+from repro.runtime.distribution import BlockMap, CyclicMap
+
+
+class TestBlockMap:
+    def test_even_split(self):
+        m = BlockMap(8, 4)
+        assert m.counts() == [2, 2, 2, 2]
+        assert m.starts() == [0, 2, 4, 6]
+
+    def test_remainder_to_first_ranks(self):
+        m = BlockMap(10, 4)
+        assert m.counts() == [3, 3, 2, 2]
+
+    def test_more_ranks_than_items(self):
+        m = BlockMap(2, 5)
+        assert m.counts() == [1, 1, 0, 0, 0]
+
+    def test_owner_matches_ranges(self):
+        m = BlockMap(10, 3)
+        for i in range(10):
+            r = m.owner(i)
+            assert m.start(r) <= i < m.stop(r)
+
+    def test_local_index(self):
+        m = BlockMap(10, 3)
+        assert m.local_index(0) == 0
+        assert m.local_index(4) == 0  # first item of rank 1 (counts 4,3,3)
+
+    def test_out_of_range(self):
+        with pytest.raises(DistributionError):
+            BlockMap(5, 2).owner(5)
+        with pytest.raises(DistributionError):
+            BlockMap(5, 2).owner(-1)
+
+
+class TestCyclicMap:
+    def test_round_robin_owner(self):
+        m = CyclicMap(10, 3)
+        assert [m.owner(i) for i in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_counts(self):
+        m = CyclicMap(10, 3)
+        assert m.counts() == [4, 3, 3]
+
+    def test_global_indices(self):
+        m = CyclicMap(10, 3)
+        np.testing.assert_array_equal(m.global_indices(1), [1, 4, 7])
+
+    def test_local_index(self):
+        m = CyclicMap(10, 3)
+        assert m.local_index(7) == 2
+
+
+@given(n=st.integers(0, 500), p=st.integers(1, 17))
+def test_block_partition_covers_exactly(n, p):
+    """Partition property: counts sum to n, blocks are contiguous and
+    disjoint, sizes differ by at most one."""
+    m = BlockMap(n, p)
+    counts = m.counts()
+    assert sum(counts) == n
+    assert max(counts) - min(counts) <= 1
+    seen = []
+    for r in range(p):
+        seen.extend(range(m.start(r), m.stop(r)))
+    assert seen == list(range(n))
+
+
+@given(n=st.integers(1, 300), p=st.integers(1, 9))
+def test_block_owner_local_roundtrip(n, p):
+    m = BlockMap(n, p)
+    for i in range(0, n, max(n // 7, 1)):
+        r = m.owner(i)
+        assert m.start(r) + m.local_index(i) == i
+
+
+@given(n=st.integers(0, 300), p=st.integers(1, 9))
+def test_cyclic_partition_covers_exactly(n, p):
+    m = CyclicMap(n, p)
+    assert sum(m.counts()) == n
+    all_indices = np.concatenate(
+        [m.global_indices(r) for r in range(p)]) if n else np.array([])
+    assert sorted(all_indices.tolist()) == list(range(n))
+
+
+@given(n=st.integers(1, 200), p=st.integers(1, 8))
+def test_cyclic_owner_consistent_with_indices(n, p):
+    m = CyclicMap(n, p)
+    for r in range(p):
+        for i in m.global_indices(r):
+            assert m.owner(int(i)) == r

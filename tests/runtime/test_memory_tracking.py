@@ -1,0 +1,160 @@
+"""Per-rank memory-tracking tests (the Section 7 instrumentation)."""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_source
+from repro.mpi import MEIKO_CS2, run_spmd
+from repro.runtime.context import RuntimeContext
+from repro.runtime.memory import MemoryTracker, install_tracker
+
+
+class TestTracker:
+    def test_peak_tracks_high_water(self):
+        t = MemoryTracker()
+        t.allocate(100)
+        t.allocate(50)
+        t.release(100)
+        t.allocate(20)
+        assert t.current == 70
+        assert t.peak == 150
+
+    def test_reset(self):
+        t = MemoryTracker()
+        t.allocate(10)
+        t.reset()
+        assert t.current == 0 and t.peak == 0
+
+
+class TestRankTracking:
+    def test_local_bytes_counted(self):
+        def fn(comm):
+            rt = RuntimeContext(comm, seed=0)
+            a = rt.rand(100.0, 100.0)
+            return rt.peak_local_bytes
+
+        res = run_spmd(4, MEIKO_CS2, fn)
+        # each rank holds 25 rows x 100 cols x 8 bytes
+        assert all(p >= 25 * 100 * 8 for p in res.results)
+        assert all(p < 100 * 100 * 8 for p in res.results)
+
+    def test_garbage_collection_releases(self):
+        def fn(comm):
+            rt = RuntimeContext(comm, seed=0)
+            for _ in range(5):
+                a = rt.rand(64.0, 64.0)
+                del a
+                gc.collect()
+            current = rt.memory.current
+            peak = rt.peak_local_bytes
+            return current, peak
+
+        res = run_spmd(2, MEIKO_CS2, fn)
+        for current, peak in res.results:
+            # peak covers roughly one live matrix, not five
+            assert peak < 3 * 64 * 64 * 8
+            assert current <= peak
+
+    def test_trackers_isolated_per_rank(self):
+        def fn(comm):
+            rt = RuntimeContext(comm, seed=0)
+            if comm.rank == 0:
+                rt.rand(200.0, 200.0)  # only rank 0 allocates extra
+            comm.barrier()
+            return rt.peak_local_bytes
+
+        res = run_spmd(2, MEIKO_CS2, fn)
+        assert res.results[0] > res.results[1]
+
+    def test_main_thread_tracker_restorable(self):
+        tracker = MemoryTracker()
+        install_tracker(tracker)
+        try:
+            from repro.runtime.matrix import DMatrix
+
+            DMatrix.from_full(np.ones((10, 10)), 1, 0)
+            assert tracker.peak == 800
+        finally:
+            install_tracker(None)
+
+
+class TestRunResultMemory:
+    def test_peaks_reported_per_rank(self):
+        prog = compile_source("rand('seed', 1);\na = rand(64, 64);"
+                              "\ns = sum(sum(a));")
+        result = prog.run(nprocs=4)
+        assert len(result.peak_local_bytes) == 4
+        assert all(p > 0 for p in result.peak_local_bytes)
+
+    def test_memory_shrinks_with_ranks(self):
+        prog = compile_source("rand('seed', 1);\na = rand(256, 256);"
+                              "\nb = a + a;\ns = sum(sum(b));")
+        p1 = max(prog.run(nprocs=1).peak_local_bytes)
+        p8 = max(prog.run(nprocs=8).peak_local_bytes)
+        assert p8 < p1 / 4
+
+    def test_machine_memory_constants(self):
+        from repro.mpi import (
+            MEIKO_CS2,
+            SPARC20_CLUSTER,
+            SUN_ENTERPRISE,
+            WORKSTATION_MEMORY,
+        )
+
+        for machine in (MEIKO_CS2, SUN_ENTERPRISE, SPARC20_CLUSTER):
+            assert machine.memory_per_cpu > 0
+        # the aggregate parallel memory beats one workstation (Section 7)
+        assert (MEIKO_CS2.memory_per_cpu * MEIKO_CS2.max_cpus
+                > WORKSTATION_MEMORY * 4)
+
+
+class TestGatherCache:
+    def test_cached_gather_skips_collectives(self):
+        from repro.mpi import MEIKO_CS2, run_spmd
+        from repro.runtime.context import RuntimeContext
+
+        def fn(comm):
+            rt = RuntimeContext(comm, seed=0, cache_gathers=True)
+            a = rt.rand(12.0, 12.0)
+            first = rt.gather_full(a)
+            before = comm.world.collectives
+            second = rt.gather_full(a)
+            after = comm.world.collectives
+            return (first == second).all(), after - before
+
+        res = run_spmd(3, MEIKO_CS2, fn)
+        for same, extra in res.results:
+            assert same and extra == 0
+
+    def test_cache_disabled_by_default(self):
+        from repro.mpi import MEIKO_CS2, run_spmd
+        from repro.runtime.context import RuntimeContext
+
+        def fn(comm):
+            rt = RuntimeContext(comm, seed=0)
+            a = rt.rand(12.0, 12.0)
+            rt.gather_full(a)
+            before = comm.world.collectives
+            rt.gather_full(a)
+            return comm.world.collectives - before
+
+        res = run_spmd(3, MEIKO_CS2, fn)
+        assert all(extra >= 1 for extra in res.results)
+
+    def test_new_value_not_served_stale(self):
+        from repro.mpi import MEIKO_CS2, run_spmd
+        from repro.runtime.context import RuntimeContext
+
+        def fn(comm):
+            rt = RuntimeContext(comm, seed=0, cache_gathers=True)
+            a = rt.rand(8.0, 8.0)
+            rt.gather_full(a)
+            b = rt.ew(lambda x: x + 1.0, 1, a)  # a NEW descriptor
+            full_b = rt.gather_full(b)
+            full_a = rt.gather_full(a)
+            return float((full_b - full_a).sum())
+
+        res = run_spmd(2, MEIKO_CS2, fn)
+        assert all(abs(v - 64.0) < 1e-9 for v in res.results)

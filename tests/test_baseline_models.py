@@ -1,0 +1,97 @@
+"""Cost-model relationships among the three systems (the quantities
+behind Figure 2's mechanism)."""
+
+import pytest
+
+from repro.analysis.resolve import resolve_program
+from repro.baselines.matcom import DEFAULT_MATCOM, MatcomModel, run_matcom
+from repro.compiler import compile_source
+from repro.frontend.parser import parse_script
+from repro.interp.costmodel import CostMeter
+from repro.interp.interpreter import Interpreter
+from repro.mpi.machine import MEIKO_CS2
+
+
+def interp_time(src):
+    meter = CostMeter(MEIKO_CS2.cpu.interpreter_params())
+    Interpreter(resolve_program(parse_script(src)), meter=meter).run()
+    return meter.time
+
+
+def matcom_time_of(src):
+    _, t = run_matcom(resolve_program(parse_script(src)), MEIKO_CS2)
+    return t
+
+
+def otter_time_of(src):
+    return compile_source(src).run(nprocs=1).elapsed
+
+
+ELEMENTWISE_CHAIN = """
+rand('seed', 1);
+a = rand(200, 200);
+b = rand(200, 200);
+c = sqrt(a) + a .* b - 2 * abs(b) + sin(a) ./ (b + 1);
+s = sum(sum(c));
+"""
+
+KERNEL_DOMINATED = """
+rand('seed', 1);
+a = rand(160, 160);
+b = a * a;
+c = b * a;
+s = sum(sum(c));
+"""
+
+STATEMENT_HEAVY = """
+x = 0;
+for i = 1:2000
+    x = x + i;
+end
+"""
+
+
+class TestOrderings:
+    def test_everyone_beats_the_interpreter(self):
+        for src in (ELEMENTWISE_CHAIN, KERNEL_DOMINATED):
+            ti = interp_time(src)
+            assert matcom_time_of(src) < ti
+            assert otter_time_of(src) < ti
+
+    def test_otter_fusion_wins_elementwise_chains(self):
+        assert otter_time_of(ELEMENTWISE_CHAIN) \
+            < matcom_time_of(ELEMENTWISE_CHAIN)
+
+    def test_matcom_wins_kernel_dominated(self):
+        assert matcom_time_of(KERNEL_DOMINATED) \
+            < otter_time_of(KERNEL_DOMINATED)
+
+    def test_interpreter_statement_dispatch_dominates_scalar_loops(self):
+        ti = interp_time(STATEMENT_HEAVY)
+        tm = matcom_time_of(STATEMENT_HEAVY)
+        # 2000 statements at ~12us dispatch vs compiled ~0.3us
+        assert ti > 10 * tm
+
+
+class TestModelKnobs:
+    def test_matcom_model_parameterizable(self):
+        slow = MatcomModel(flop_factor=10.0)
+        src = KERNEL_DOMINATED
+        program = resolve_program(parse_script(src))
+        _, t_default = run_matcom(program, MEIKO_CS2, DEFAULT_MATCOM)
+        _, t_slow = run_matcom(program, MEIKO_CS2, slow)
+        assert t_slow > t_default * 5
+
+    def test_interpreter_params_derived_from_cpu(self):
+        params = MEIKO_CS2.cpu.interpreter_params()
+        assert params.flop_time / MEIKO_CS2.cpu.flop_time \
+            == pytest.approx(MEIKO_CS2.cpu.interp_flop_factor)
+
+    def test_meter_charge_accounting(self):
+        meter = CostMeter(MEIKO_CS2.cpu.interpreter_params())
+        meter.charge_flops(65_000_000)
+        base = meter.time
+        meter.reset()
+        assert meter.time == 0.0
+        meter.charge_elementwise(1000, nops=3)
+        assert 0 < meter.time < base

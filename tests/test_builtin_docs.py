@@ -1,0 +1,24 @@
+"""docs/BUILTINS.md must match the registry (regenerate with
+``python -m repro.tools.builtin_table``)."""
+
+import os
+
+from repro.tools.builtin_table import generate
+
+DOC = os.path.join(os.path.dirname(__file__), "..", "docs", "BUILTINS.md")
+
+
+def test_builtin_doc_is_fresh():
+    with open(DOC, encoding="utf-8") as fh:
+        checked_in = fh.read()
+    assert checked_in == generate(), (
+        "docs/BUILTINS.md is stale; run python -m repro.tools.builtin_table")
+
+
+def test_doc_mentions_every_builtin():
+    from repro.analysis.builtin_sigs import REGISTRY
+
+    with open(DOC, encoding="utf-8") as fh:
+        text = fh.read()
+    for name in REGISTRY:
+        assert f"`{name}`" in text, name

@@ -1,0 +1,104 @@
+"""Diagnostic-quality tests: every compile-time error carries a usable
+source location and message."""
+
+import pytest
+
+from repro.errors import (
+    DiagnosticError,
+    InferenceError,
+    LexError,
+    ParseError,
+    ResolutionError,
+    SourceLocation,
+)
+from repro.compiler import compile_source
+
+
+def location_of(exc: DiagnosticError) -> SourceLocation:
+    return exc.loc
+
+
+class TestLexerDiagnostics:
+    def test_bad_char_location(self):
+        with pytest.raises(LexError) as err:
+            compile_source("x = 1;\ny = $;")
+        assert err.value.loc.line == 2
+        assert err.value.loc.col == 5
+
+    def test_unterminated_string_points_at_quote(self):
+        with pytest.raises(LexError) as err:
+            compile_source("s = 'oops")
+        assert err.value.loc.line == 1
+        assert err.value.loc.col == 5
+
+
+class TestParserDiagnostics:
+    def test_whitespace_matrix_message(self):
+        with pytest.raises(ParseError) as err:
+            compile_source("m = [1 2];")
+        assert "comma" in str(err.value)
+
+    def test_missing_end_line(self):
+        with pytest.raises(ParseError) as err:
+            compile_source("for i = 1:3\nx = i;")
+        assert "end" in str(err.value) or "eof" in str(err.value).lower()
+
+    def test_bad_assignment_target(self):
+        with pytest.raises(ParseError) as err:
+            compile_source("x + 1 = 3;")
+        assert "target" in str(err.value) or "statement" in str(err.value)
+
+
+class TestResolutionDiagnostics:
+    def test_undefined_names_both_named_and_located(self):
+        with pytest.raises(ResolutionError) as err:
+            compile_source("a = 1;\nb = a + mystery_name;")
+        assert "mystery_name" in str(err.value)
+        assert err.value.loc.line == 2
+
+    def test_bad_arity_names_builtin(self):
+        with pytest.raises(ResolutionError) as err:
+            compile_source("x = sqrt(1, 2, 3);")
+        assert "sqrt" in str(err.value)
+
+    def test_colon_to_function_located(self):
+        with pytest.raises(ResolutionError) as err:
+            compile_source("x = max(:);")
+        assert "':'" in str(err.value)
+
+
+class TestInferenceDiagnostics:
+    def test_dimension_mismatch_shows_shapes(self):
+        with pytest.raises(InferenceError) as err:
+            compile_source("a = ones(2, 3);\nb = ones(4, 5);\nc = a + b;")
+        msg = str(err.value)
+        assert "2x3" in msg and "4x5" in msg
+
+    def test_inner_dim_mismatch_shows_shapes(self):
+        with pytest.raises(InferenceError) as err:
+            compile_source("a = ones(2, 3);\nb = ones(5, 4);\nc = a * b;")
+        msg = str(err.value)
+        assert "inner" in msg
+
+    def test_missing_sample_file_names_file(self):
+        with pytest.raises(InferenceError) as err:
+            compile_source("d = load('ocean_field.dat');")
+        assert "ocean_field.dat" in str(err.value)
+
+
+class TestErrorStringFormat:
+    def test_diagnostic_prefix_is_file_line_col(self):
+        with pytest.raises(ResolutionError) as err:
+            compile_source("x = nope;", name="myscript")
+        text = str(err.value)
+        assert text.startswith("myscript:1:")
+
+    def test_source_location_repr(self):
+        loc = SourceLocation("f.m", 3, 9)
+        assert repr(loc) == "f.m:3:9"
+
+    def test_source_location_equality_and_hash(self):
+        a = SourceLocation("f.m", 1, 2)
+        b = SourceLocation("f.m", 1, 2)
+        assert a == b and hash(a) == hash(b)
+        assert a != SourceLocation("f.m", 1, 3)

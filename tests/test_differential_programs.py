@@ -1,0 +1,297 @@
+"""Differential tests on whole numerical programs — larger, loop-heavy,
+and element-access-heavy scripts that stress the guarded-store and
+broadcast paths at scale."""
+
+import numpy as np
+import pytest
+
+from repro.frontend.mfile import DictProvider
+
+PROGRAMS = {
+    "jacobi_solver": """
+% Jacobi iteration on a diagonally dominant system.
+rand('seed', 21);
+n = 24;
+A = rand(n, n) + n * eye(n);
+b = rand(n, 1);
+d = diag(A);
+R = A - diag(d);
+x = zeros(n, 1);
+for k = 1:60
+    x = (b - R * x) ./ d;
+end
+resid = norm(A * x - b);
+""",
+    "gauss_seidel_elementwise": """
+% Gauss-Seidel with explicit element loops (guarded stores + broadcasts).
+n = 8;
+rand('seed', 22);
+A = rand(n, n) + n * eye(n);
+b = rand(n, 1);
+x = zeros(n, 1);
+for sweep = 1:15
+    for i = 1:n
+        s = 0;
+        for j = 1:n
+            if j ~= i
+                s = s + A(i, j) * x(j);
+            end
+        end
+        x(i) = (b(i) - s) / A(i, i);
+    end
+end
+resid = norm(A * x - b);
+""",
+    "monte_carlo_pi": """
+rand('seed', 23);
+n = 20000;
+x = rand(n, 1);
+y = rand(n, 1);
+inside = (x .* x + y .* y) <= 1;
+pi_est = 4 * sum(inside) / n;
+err = abs(pi_est - pi);
+""",
+    "logistic_map_ensemble": """
+rand('seed', 24);
+m = 500;
+x = rand(m, 1);
+r = 3.7;
+for k = 1:100
+    x = r * x .* (1 - x);
+end
+mu = mean(x);
+sd = std(x);
+""",
+    "power_iteration_with_deflation": """
+rand('seed', 25);
+n = 20;
+A = rand(n, n);
+A = A' * A;
+v1 = ones(n, 1) / sqrt(n);
+for k = 1:80
+    v1 = A * v1;
+    v1 = v1 / norm(v1);
+end
+lam1 = v1' * A * v1;
+B = A - lam1 * (v1 * v1');
+v2 = rand(n, 1);
+for k = 1:80
+    v2 = B * v2;
+    v2 = v2 - (v1' * v2) * v1;
+    v2 = v2 / norm(v2);
+end
+lam2 = v2' * A * v2;
+gap = lam1 - lam2;
+""",
+    "histogram_by_element_stores": """
+rand('seed', 26);
+n = 3000;
+bins = 10;
+data = rand(n, 1);
+h = zeros(1, bins);
+for i = 1:n
+    k = floor(data(i) * bins) + 1;
+    if k > bins
+        k = bins;
+    end
+    h(k) = h(k) + 1;
+end
+total = sum(h);
+hmax = max(h);
+""",
+    "runge_kutta_oscillator": """
+% RK4 for a damped oscillator; purely scalar loop body.
+x = 1; v = 0;
+dt = 0.05;
+w2 = 4.0;
+c = 0.1;
+for s = 1:200
+    k1x = v;                      k1v = -w2 * x - c * v;
+    k2x = v + dt/2 * k1v;         k2v = -w2 * (x + dt/2 * k1x) - c * (v + dt/2 * k1v);
+    k3x = v + dt/2 * k2v;         k3v = -w2 * (x + dt/2 * k2x) - c * (v + dt/2 * k2v);
+    k4x = v + dt * k3v;           k4v = -w2 * (x + dt * k3x) - c * (v + dt * k3v);
+    x = x + dt/6 * (k1x + 2*k2x + 2*k3x + k4x);
+    v = v + dt/6 * (k1v + 2*k2v + 2*k3v + k4v);
+end
+energy = w2 * x * x / 2 + v * v / 2;
+""",
+    "blocked_matrix_assembly": """
+% Assemble a block tridiagonal matrix with slice stores.
+n = 6;
+blocks = 4;
+N = n * blocks;
+T = zeros(N, N);
+D = 4 * eye(n);
+E = -1 * eye(n);
+for b = 1:blocks
+    lo = (b - 1) * n + 1;
+    hi = b * n;
+    T(lo:hi, lo:hi) = D;
+    if b < blocks
+        T(lo:hi, lo+n:hi+n) = E;
+        T(lo+n:hi+n, lo:hi) = E;
+    end
+end
+sym_err = max(max(abs(T - T')));
+row_sum = sum(T(1, :));
+""",
+    "stencil_heat": """
+n = 400;
+x = linspace(0, 2*pi, n);
+u = sin(x);
+alpha = 0.2;
+for s = 1:50
+    left = circshift(u, 1);
+    right = circshift(u, -1);
+    u = u + alpha * (left - 2 * u + right);
+end
+decay = sum(u .* u);
+""",
+    "fixed_point_while": """
+x = 10.0;
+iters = 0;
+while abs(x - cos(x)) > 1e-10
+    x = cos(x);
+    iters = iters + 1;
+    if iters > 500
+        break
+    end
+end
+""",
+}
+
+
+@pytest.mark.parametrize("key", sorted(PROGRAMS))
+def test_program_matches_oracle(key, assert_matches_oracle):
+    assert_matches_oracle(PROGRAMS[key], nprocs=(1, 4), rtol=1e-7,
+                          atol=1e-9)
+
+
+def test_jacobi_actually_converges(run_compiled):
+    ws, _ = run_compiled(PROGRAMS["jacobi_solver"], nprocs=4)
+    assert ws["resid"] < 1e-8
+
+
+def test_gauss_seidel_converges(run_compiled):
+    ws, _ = run_compiled(PROGRAMS["gauss_seidel_elementwise"], nprocs=3)
+    assert ws["resid"] < 1e-6
+
+
+def test_monte_carlo_close_to_pi(run_compiled):
+    ws, _ = run_compiled(PROGRAMS["monte_carlo_pi"], nprocs=4)
+    assert ws["err"] < 0.05
+
+
+def test_power_iteration_orders_eigenvalues(run_compiled):
+    ws, _ = run_compiled(PROGRAMS["power_iteration_with_deflation"],
+                         nprocs=2)
+    assert ws["gap"] > 0
+
+
+MFILE_PROGRAMS = {
+    "newton_solver": ("""
+root = newton(2.0, 40);
+check = root * root - 2;
+""", {
+        "newton": """function x = newton(x0, iters)
+x = x0;
+for k = 1:iters
+    fx = x * x - 2;
+    if abs(fx) < 1e-14
+        return
+    end
+    x = x - fx / (2 * x);
+end
+""",
+    }),
+    "matrix_exponential_series": ("""
+rand('seed', 27);
+A = rand(6, 6) / 10;
+E = expm_series(A, 12);
+check = max(max(abs(E * inv(E) - eye(6))));
+""", {
+        "expm_series": """function E = expm_series(A, terms)
+n = size(A, 1);
+E = eye(n);
+T = eye(n);
+for k = 1:terms
+    T = (T * A) / k;
+    E = E + T;
+end
+""",
+    }),
+}
+
+
+@pytest.mark.parametrize("key", sorted(MFILE_PROGRAMS))
+def test_mfile_program_matches_oracle(key, assert_matches_oracle):
+    src, mfiles = MFILE_PROGRAMS[key]
+    assert_matches_oracle(src, nprocs=(1, 3),
+                          provider=DictProvider(mfiles),
+                          rtol=1e-7, atol=1e-9)
+
+
+COMPLEX_PROGRAMS = {
+    "phasor_rotation": """
+n = 16;
+theta = 2 * pi / n;
+w = cos(theta) + sin(theta) * 1i;
+z = ones(n, 1) + 0i;
+for k = 1:n
+    z = z * w;
+end
+err = max(abs(z - 1));
+""",
+    "complex_matvec_energy": """
+rand('seed', 33);
+n = 12;
+Ar = rand(n, n);
+Ai = rand(n, n);
+A = Ar + 1i * Ai;
+v = rand(n, 1) + 1i * rand(n, 1);
+w = A * v;
+energy = real(v' * v);
+cross = v' * w;
+mag = abs(cross);
+""",
+    "complex_conjugate_identities": """
+z = 3 - 4i;
+a = z * conj(z);
+b = abs(z) ^ 2;
+diff = abs(a - b);
+re2 = real(z ^ 2);
+im2 = imag(z ^ 2);
+""",
+    "dft_by_matrix": """
+% Direct DFT of a small real signal via an explicit Fourier matrix.
+n = 8;
+x = [1; 2; 3; 4; 4; 3; 2; 1];
+F = zeros(n, n) + 0i;
+for r = 1:n
+    for c = 1:n
+        ang = -2 * pi * (r - 1) * (c - 1) / n;
+        F(r, c) = cos(ang) + 1i * sin(ang);
+    end
+end
+X = F * x;
+dc = real(X(1));
+power = real(X' * X) / n;
+parseval = abs(power - x' * x);
+""",
+}
+
+
+@pytest.mark.parametrize("key", sorted(COMPLEX_PROGRAMS))
+def test_complex_program_matches_oracle(key, assert_matches_oracle):
+    assert_matches_oracle(COMPLEX_PROGRAMS[key], nprocs=(1, 3),
+                          rtol=1e-9, atol=1e-11)
+
+
+def test_phasor_returns_to_start(run_compiled):
+    ws, _ = run_compiled(COMPLEX_PROGRAMS["phasor_rotation"], nprocs=2)
+    assert ws["err"] < 1e-12
+
+
+def test_parseval_holds(run_compiled):
+    ws, _ = run_compiled(COMPLEX_PROGRAMS["dft_by_matrix"], nprocs=4)
+    assert ws["parseval"] < 1e-9

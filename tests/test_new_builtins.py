@@ -1,0 +1,182 @@
+"""Tests for the extension builtins (dim reductions, std/var/median/find)
+in all three systems via the differential fixture."""
+
+import numpy as np
+import pytest
+
+
+class TestDimReductions:
+    def test_sum_dim1_vs_dim2(self, assert_matches_oracle):
+        ws = assert_matches_oracle("""
+a = [1, 2, 3; 4, 5, 6];
+s1 = sum(a, 1);
+s2 = sum(a, 2);
+m1 = mean(a, 1);
+m2 = mean(a, 2);
+p2 = prod(a, 2);
+""", nprocs=(1, 2, 3))
+        np.testing.assert_array_equal(np.asarray(ws["s1"]), [[5, 7, 9]])
+        np.testing.assert_array_equal(np.asarray(ws["s2"]),
+                                      [[6], [15]])
+        np.testing.assert_array_equal(np.asarray(ws["m2"]),
+                                      [[2], [5]])
+        np.testing.assert_array_equal(np.asarray(ws["p2"]),
+                                      [[6], [120]])
+
+    def test_dim_on_vector_singleton_identity(self, assert_matches_oracle):
+        ws = assert_matches_oracle("""
+v = [1, 2, 3, 4];
+a = sum(v, 1);
+b = sum(v, 2);
+""", nprocs=(1, 2))
+        np.testing.assert_array_equal(np.asarray(ws["a"]), [[1, 2, 3, 4]])
+        assert ws["b"] == 10.0
+
+    def test_row_reduce_is_local_no_extra_collectives(self):
+        """dim=2 on a row-distributed matrix needs no communication."""
+        from repro.compiler import compile_source
+
+        prog = compile_source(
+            "rand('seed', 1);\na = rand(64, 64);\nr = sum(a, 2);"
+            "\ns = sum(r);")
+        base = compile_source(
+            "rand('seed', 1);\na = rand(64, 64);\nr = sum(a, 1);"
+            "\ns = sum(r');")
+        row_colls = prog.run(nprocs=8).spmd.collectives
+        col_colls = base.run(nprocs=8).spmd.collectives
+        assert row_colls < col_colls
+
+
+class TestStatBuiltins:
+    def test_std_var_vector(self, assert_matches_oracle):
+        ws = assert_matches_oracle("""
+rand('seed', 2);
+v = rand(40, 1) * 10;
+s = std(v);
+w = var(v);
+""", nprocs=(1, 3))
+        v = np.asarray(ws["v"]).reshape(-1)
+        assert ws["s"] == pytest.approx(np.std(v, ddof=1), rel=1e-9)
+        assert ws["w"] == pytest.approx(np.var(v, ddof=1), rel=1e-9)
+
+    def test_std_matrix_columnwise(self, assert_matches_oracle):
+        ws = assert_matches_oracle("""
+rand('seed', 3);
+a = rand(9, 4);
+s = std(a);
+""", nprocs=(1, 4))
+        a = np.asarray(ws["a"])
+        np.testing.assert_allclose(np.asarray(ws["s"]).reshape(-1),
+                                   np.std(a, axis=0, ddof=1), rtol=1e-9)
+
+    def test_median_odd_even(self, assert_matches_oracle):
+        ws = assert_matches_oracle("""
+a = median([3, 1, 2]);
+b = median([4, 1, 3, 2]);
+""", nprocs=(1, 2))
+        assert ws["a"] == 2.0 and ws["b"] == 2.5
+
+    def test_median_matrix(self, assert_matches_oracle):
+        assert_matches_oracle("""
+rand('seed', 5);
+m = median(rand(7, 3));
+""", nprocs=(1, 3))
+
+
+class TestFind:
+    def test_find_column_major_order(self, assert_matches_oracle):
+        ws = assert_matches_oracle("""
+a = [0, 2; 3, 0];
+idx = find(a);
+""", nprocs=(1, 2))
+        np.testing.assert_array_equal(np.asarray(ws["idx"]).reshape(-1),
+                                      [2, 3])
+
+    def test_find_row_vector_keeps_orientation(self, assert_matches_oracle):
+        ws = assert_matches_oracle("""
+v = [0, 5, 0, 7, 1];
+idx = find(v);
+""", nprocs=(1, 3))
+        np.testing.assert_array_equal(np.asarray(ws["idx"]), [[2, 4, 5]])
+
+    def test_find_then_index(self, assert_matches_oracle):
+        """The classic pattern: select elements by found indices."""
+        ws = assert_matches_oracle("""
+rand('seed', 4);
+v = rand(1, 30) - 0.5;
+pos = find(v > 0);
+chosen = v(pos);
+total = sum(chosen);
+""", nprocs=(1, 4))
+        v = np.asarray(ws["v"]).reshape(-1)
+        assert ws["total"] == pytest.approx(v[v > 0].sum(), rel=1e-9)
+
+    def test_find_empty(self, run_compiled, run_interp):
+        src = "idx = find(zeros(3, 3));\nn = numel(idx);"
+        assert run_interp(src).workspace["n"] == 0.0
+        ws, _ = run_compiled(src, nprocs=2)
+        assert ws["n"] == 0.0
+
+    def test_find_all_nonzero_distributed(self, assert_matches_oracle):
+        assert_matches_oracle(
+            "idx = find(ones(11, 1));\ns = sum(idx);", nprocs=(1, 4))
+
+
+class TestLinalgBuiltins:
+    def test_inv_roundtrip(self, assert_matches_oracle):
+        ws = assert_matches_oracle("""
+rand('seed', 6);
+A = rand(8, 8) + 8 * eye(8);
+B = inv(A);
+I = A * B;
+err = max(max(abs(I - eye(8))));
+""", nprocs=(1, 4), rtol=1e-7, atol=1e-9)
+        assert ws["err"] < 1e-9
+
+    def test_det_of_triangular(self, assert_matches_oracle):
+        ws = assert_matches_oracle("""
+T = [2, 5, 1; 0, 3, 7; 0, 0, 4];
+d = det(T);
+""", nprocs=(1, 2))
+        assert abs(ws["d"] - 24.0) < 1e-10
+
+    def test_trace(self, assert_matches_oracle):
+        ws = assert_matches_oracle(
+            "A = [1, 9; 9, 5];\nt = trace(A);", nprocs=(1, 2))
+        assert ws["t"] == 6.0
+
+    def test_inv_nonsquare_rejected(self, run_compiled):
+        import pytest
+
+        from repro.errors import OtterError
+
+        with pytest.raises(Exception):
+            run_compiled("B = inv(ones(2, 3));", nprocs=2)
+
+
+class TestStringBuiltins:
+    def test_sprintf(self, assert_matches_oracle):
+        ws = assert_matches_oracle(
+            "s = sprintf('%d/%d = %.2f', 1, 3, 1/3);", nprocs=(1, 2))
+        assert ws["s"] == "1/3 = 0.33"
+
+    def test_sprintf_cycles(self, assert_matches_oracle):
+        ws = assert_matches_oracle(
+            "s = sprintf('%d,', [1, 2, 3]);", nprocs=(1, 3))
+        assert ws["s"] == "1,2,3,"
+
+    def test_num2str_scalar(self, assert_matches_oracle):
+        ws = assert_matches_oracle("s = num2str(pi);\nt = num2str(4);",
+                                   nprocs=(1, 2))
+        assert ws["s"] == "3.1416"
+        assert ws["t"] == "4"
+
+    def test_int2str_rounds(self, assert_matches_oracle):
+        ws = assert_matches_oracle("s = int2str(2.7);", nprocs=(1, 2))
+        assert ws["s"] == "3"
+
+    def test_strings_through_display(self, run_compiled, run_interp):
+        src = "msg = sprintf('count=%d', 5);\ndisp(msg);"
+        interp = run_interp(src)
+        _, out = run_compiled(src, nprocs=2)
+        assert out == "".join(interp.output) == "count=5\n"

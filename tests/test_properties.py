@@ -1,0 +1,249 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.frontend.lexer import tokenize
+from repro.frontend.parser import parse_expression, parse_script
+from repro.frontend.tokens import TokenKind
+from repro.interp.interpreter import apply_binop, run_source
+from repro.interp.values import (
+    as_matrix,
+    colon_range,
+    index_assign,
+    index_read,
+    simplify,
+)
+
+# ---------------------------------------------------------------------- #
+# strategies
+# ---------------------------------------------------------------------- #
+
+idents = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True).filter(
+    lambda s: s not in {
+        "if", "else", "elseif", "end", "for", "while", "break", "continue",
+        "return", "function", "switch", "case", "otherwise", "global"})
+
+small_floats = st.floats(min_value=-1e6, max_value=1e6,
+                         allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def numeric_expressions(draw, depth=0):
+    """Generate MATLAB scalar-expression source with its Python value."""
+    if depth > 3 or draw(st.booleans()):
+        value = draw(st.floats(min_value=-100, max_value=100,
+                               allow_nan=False, allow_infinity=False,
+                               width=32))
+        return (repr(abs(float(value)))
+                if value >= 0 else f"(-{abs(float(value))!r})",
+                abs(float(value)) if value >= 0 else -abs(float(value)))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left_src, left_val = draw(numeric_expressions(depth=depth + 1))
+    right_src, right_val = draw(numeric_expressions(depth=depth + 1))
+    value = {"+": left_val + right_val,
+             "-": left_val - right_val,
+             "*": left_val * right_val}[op]
+    return f"({left_src} {op} {right_src})", value
+
+
+# ---------------------------------------------------------------------- #
+# lexer / parser
+# ---------------------------------------------------------------------- #
+
+
+@given(st.floats(min_value=0, max_value=1e12, allow_nan=False))
+def test_lexer_number_roundtrip(x):
+    toks = tokenize(repr(float(x)))
+    assert toks[0].kind is TokenKind.NUMBER
+    assert toks[0].value == pytest.approx(float(x))
+
+
+@given(st.text(alphabet=st.characters(
+    blacklist_characters="'\n", codec="ascii"), max_size=30))
+def test_lexer_string_roundtrip(text):
+    toks = tokenize(f"x = '{text}'")
+    assert toks[2].kind is TokenKind.STRING
+    assert toks[2].value == text
+
+
+@given(idents)
+def test_identifier_roundtrip(name):
+    toks = tokenize(name)
+    assert toks[0].kind is TokenKind.IDENT
+    assert toks[0].text == name
+
+
+@given(numeric_expressions())
+@settings(max_examples=60)
+def test_generated_expressions_parse_and_evaluate(pair):
+    src, expected = pair
+    expr = parse_expression(src)
+    interp = run_source(f"x = {src};")
+    assert interp.workspace["x"] == pytest.approx(expected, rel=1e-9)
+
+
+@given(st.lists(st.lists(small_floats, min_size=1, max_size=4),
+                min_size=1, max_size=4))
+def test_matrix_literal_roundtrip(rows):
+    assume(len({len(r) for r in rows}) == 1)
+    src = "[" + "; ".join(", ".join(repr(v) if v >= 0 else f"(-{-v!r})"
+                                    for v in row) for row in rows) + "]"
+    interp = run_source(f"m = {src};")
+    np.testing.assert_allclose(as_matrix(interp.workspace["m"]),
+                               np.array(rows), rtol=1e-12)
+
+
+# ---------------------------------------------------------------------- #
+# value semantics
+# ---------------------------------------------------------------------- #
+
+
+@given(st.floats(-50, 50), st.floats(0.1, 7), st.floats(-50, 120))
+def test_colon_range_matches_arange_semantics(start, step, stop):
+    r = colon_range(start, step, stop).reshape(-1)
+    if r.size:
+        assert r[0] == pytest.approx(start)
+        assert r[-1] <= stop + step * 1e-9
+        if r.size > 1:
+            np.testing.assert_allclose(np.diff(r), step, rtol=1e-9)
+    else:
+        assert start > stop
+
+
+@given(st.integers(1, 8), st.integers(1, 8), st.integers(1, 100),
+       small_floats)
+def test_index_write_read_roundtrip(rows, cols, seed, value):
+    rng = np.random.default_rng(seed)
+    a = rng.random((rows, cols))
+    i = int(rng.integers(1, rows + 1))
+    j = int(rng.integers(1, cols + 1))
+    updated = index_assign(a, [float(i), float(j)], value)
+    assert index_read(updated, [float(i), float(j)]) == pytest.approx(
+        value, rel=1e-12)
+
+
+@given(st.integers(1, 6), st.integers(1, 6), st.integers(0, 10 ** 6))
+def test_transpose_involution(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.random((rows, cols))
+    out = apply_binop("-", apply_binop("+", a, 0.0), 0.0)
+    tt = as_matrix(simplify(as_matrix(out).T.copy())).T
+    np.testing.assert_allclose(tt, a)
+
+
+@given(st.integers(2, 7), st.integers(0, 10 ** 6))
+def test_matmul_identity(n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.random((n, n))
+    out = apply_binop("*", a, np.eye(n))
+    np.testing.assert_allclose(as_matrix(out), a)
+
+
+@given(st.integers(1, 6), st.integers(0, 10 ** 6))
+def test_solve_inverts_matmul(n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.random((n, n)) + n * np.eye(n)
+    x = rng.random((n, 1))
+    b = apply_binop("*", a, x)
+    x2 = apply_binop("\\", a, b)
+    np.testing.assert_allclose(as_matrix(x2), x, rtol=1e-8)
+
+
+# ---------------------------------------------------------------------- #
+# SSA invariants on generated programs
+# ---------------------------------------------------------------------- #
+
+
+@st.composite
+def straightline_programs(draw):
+    names = draw(st.lists(idents, min_size=1, max_size=4, unique=True))
+    lines = []
+    defined = []
+    for _ in range(draw(st.integers(1, 8))):
+        target = draw(st.sampled_from(names))
+        if defined and draw(st.booleans()):
+            src_var = draw(st.sampled_from(defined))
+            lines.append(f"{target} = {src_var} + 1;")
+        else:
+            lines.append(f"{target} = {draw(st.integers(0, 9))};")
+        if target not in defined:
+            defined.append(target)
+    if draw(st.booleans()):
+        cond_var = draw(st.sampled_from(defined))
+        body_var = draw(st.sampled_from(names))
+        lines.append(f"if {cond_var} > 2\n    {body_var} = 1;\nend")
+    return "\n".join(lines)
+
+
+@given(straightline_programs())
+@settings(max_examples=50)
+def test_ssa_single_assignment_invariant(src):
+    from repro.analysis.resolve import resolve_program
+    from repro.analysis.ssa import build_ssa
+
+    prog = resolve_program(parse_script(src))
+    ssa = build_ssa(prog.script.body)
+    # every SSA value is defined at most once (entry values + phis + defs)
+    defined = [v.vid for values in ssa.defs_of.values() for v in values]
+    defined += [phi.result.vid for phi in ssa.all_phis()]
+    assert len(defined) == len(set(defined))
+    # every use refers to an existing value
+    valid = {v.vid for v in ssa.values}
+    for value in ssa.use_of.values():
+        assert value.vid in valid
+
+
+@given(straightline_programs())
+@settings(max_examples=30)
+def test_compiled_equals_interpreted_on_generated_programs(src):
+    from repro.compiler import compile_source
+
+    interp = run_source(src)
+    result = compile_source(src).run(nprocs=2)
+    for name, expected in interp.workspace.items():
+        got = result.workspace[name]
+        np.testing.assert_allclose(np.asarray(got, dtype=float),
+                                   np.asarray(expected, dtype=float))
+
+
+# ---------------------------------------------------------------------- #
+# distributed-runtime properties
+# ---------------------------------------------------------------------- #
+
+
+@given(st.integers(1, 40), st.integers(1, 8), st.integers(0, 1000))
+@settings(max_examples=25, deadline=None)
+def test_distributed_sum_invariant(n, p, seed):
+    from repro.mpi import MEIKO_CS2, run_spmd
+    from repro.runtime.context import RuntimeContext
+
+    def fn(comm):
+        rt = RuntimeContext(comm, seed=seed)
+        v = rt.rand(float(n), 1.0)
+        return rt.call_builtin("sum", [v])
+
+    res = run_spmd(p, MEIKO_CS2, fn)
+    expected = np.random.default_rng(seed).random((n, 1)).sum()
+    for r in res.results:
+        assert r == pytest.approx(expected, rel=1e-10)
+
+
+@given(st.integers(2, 30), st.integers(1, 6), st.integers(-40, 40))
+@settings(max_examples=25, deadline=None)
+def test_circshift_inverse_property(n, p, k):
+    from repro.mpi import MEIKO_CS2, run_spmd
+    from repro.runtime.context import RuntimeContext
+
+    def fn(comm):
+        rt = RuntimeContext(comm, seed=5)
+        v = rt.rand(float(n), 1.0)
+        w = rt.circshift(rt.circshift(v, float(k)), float(-k))
+        return rt.to_interp_value(w)
+
+    res = run_spmd(p, MEIKO_CS2, fn)
+    expected = np.random.default_rng(5).random((n, 1))
+    np.testing.assert_allclose(as_matrix(res.results[0]), expected)
