@@ -99,7 +99,9 @@ class World:
         self.machine = machine
         self.clocks = [0.0] * nprocs
         self.cond = threading.Condition()
-        # (src, dst, tag) -> deque of (payload, arrival_time)
+        # (src, dst, tag) -> deque of (payload, arrival_time, nbytes);
+        # the wire size is computed once at send time and carried with
+        # the message so receive-side accounting never re-walks payloads
         self.mailboxes: dict[tuple[int, int, int], deque] = {}
         self.aborted: Optional[BaseException] = None
         # collective rendezvous state
@@ -238,7 +240,8 @@ class Comm:
             world.clocks[self.rank] = t_send + \
                 self.machine.link_between(self.rank, dest).latency * 0.5
             key = (self.rank, dest, tag)
-            world.mailboxes.setdefault(key, deque()).append((obj, arrival))
+            world.mailboxes.setdefault(key, deque()).append(
+                (obj, arrival, nbytes))
             world.messages_sent += 1
             world.bytes_sent += nbytes
             world.cond.notify_all()
@@ -251,14 +254,14 @@ class Comm:
                 world._check_abort()
                 key = self._find_message(source, tag)
                 if key is not None:
-                    obj, arrival = world.mailboxes[key].popleft()
+                    obj, arrival, nbytes = world.mailboxes[key].popleft()
                     if not world.mailboxes[key]:
                         del world.mailboxes[key]
                     me = world.clocks[self.rank]
                     world.clocks[self.rank] = max(me, arrival)
                     if status is not None:
                         status.source, status.tag = key[0], key[2]
-                        status.nbytes = sizeof(obj)
+                        status.nbytes = nbytes
                     return obj
                 world.cond.wait(_WAIT_TIMEOUT)
 

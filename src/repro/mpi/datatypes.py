@@ -27,7 +27,12 @@ BYTE = Datatype("BYTE", 1, np.uint8)
 
 
 def sizeof(obj) -> int:
-    """Approximate wire size in bytes of a message payload."""
+    """Approximate wire size in bytes of a message payload.
+
+    O(1) for the payload shapes the runtime sends — numpy arrays
+    (``.nbytes``) and shallow tuples of arrays; the element-wise
+    recursion over deep lists/dicts is the legacy fallback only.
+    """
     if obj is None:
         return 0
     if isinstance(obj, np.ndarray):
@@ -36,6 +41,8 @@ def sizeof(obj) -> int:
         return 8
     if isinstance(obj, complex):
         return 16
+    if isinstance(obj, np.generic):
+        return obj.itemsize  # numpy scalar (np.int64, np.complex128, ...)
     if isinstance(obj, str):
         return len(obj)
     if isinstance(obj, (tuple, list)):

@@ -57,6 +57,34 @@ class BlockMap:
     def local_index(self, index: int) -> int:
         return index - self.start(self.owner(index))
 
+    def owners(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`owner`: owning rank per global index.
+
+        Pure integer arithmetic (no Python loop) — this is the hot path of
+        the alltoall message packing in :mod:`repro.runtime.structural`.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.n):
+            bad = idx[(idx < 0) | (idx >= self.n)][0]
+            raise DistributionError(
+                f"index {bad} out of range for extent {self.n}")
+        base, extra = divmod(self.n, self.nprocs)
+        boundary = extra * (base + 1)
+        # below the boundary blocks have base+1 items; above, base items
+        # (base == 0 cannot occur above the boundary for in-range indices:
+        # then boundary == n and the np.where 'above' branch is never taken)
+        low = idx // max(base + 1, 1)
+        high = extra + (idx - boundary) // max(base, 1)
+        return np.where(idx < boundary, low, high)
+
+    def local_indices(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`local_index`: position on the owning rank."""
+        idx = np.asarray(indices, dtype=np.int64)
+        owners = self.owners(idx)
+        base, extra = divmod(self.n, self.nprocs)
+        starts = owners * base + np.minimum(owners, extra)
+        return idx - starts
+
     def counts(self) -> list[int]:
         return [self.count(r) for r in range(self.nprocs)]
 
@@ -87,6 +115,19 @@ class CyclicMap:
 
     def local_index(self, index: int) -> int:
         return index // self.nprocs
+
+    def owners(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`owner` (round-robin: ``index % nprocs``)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.n):
+            bad = idx[(idx < 0) | (idx >= self.n)][0]
+            raise DistributionError(
+                f"index {bad} out of range for extent {self.n}")
+        return idx % self.nprocs
+
+    def local_indices(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`local_index` (``index // nprocs``)."""
+        return np.asarray(indices, dtype=np.int64) // self.nprocs
 
     def global_indices(self, rank: int) -> np.ndarray:
         return np.arange(rank, self.n, self.nprocs)

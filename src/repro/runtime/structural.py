@@ -76,20 +76,27 @@ def _circshift_vector(rt, vec: DMatrix, k: int) -> DMatrix:
     if 0 < (n - k) <= min_count and rt.size > 1:
         # a large positive shift is a small negative one
         return _circshift_ring(rt, vec, k - n)
+    # Pack one (indices, values) array pair per destination rank — no
+    # per-element Python: owners() is pure arithmetic, a stable argsort
+    # groups elements by destination, and each piece is a contiguous
+    # slice.  sizeof() is O(1) on these payloads.
     gidx = vec.global_row_indices()
     dest_global = (gidx + k) % n
-    outgoing: list[list] = [[] for _ in range(rt.size)]
-    for local_pos, g in enumerate(dest_global):
-        owner = vec.map.owner(int(g))
-        outgoing[owner].append((int(g), vec.local[local_pos]))
+    owners = vec.map.owners(dest_global)
+    order = np.argsort(owners, kind="stable")
+    sorted_dest = dest_global[order]
+    sorted_vals = vec.local[order]
+    counts = np.bincount(owners, minlength=rt.size)
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    outgoing = [(sorted_dest[offsets[r]:offsets[r + 1]],
+                 sorted_vals[offsets[r]:offsets[r + 1]])
+                for r in range(rt.size)]
     rt.comm.overhead()
     rt.comm.compute(mem=vec.local_count())
     incoming = rt.comm.alltoall(outgoing)
     new_local = np.empty_like(vec.local)
-    start = vec.map.start(rt.rank)
-    for bucket in incoming:
-        for g, val in bucket:
-            new_local[g - start] = val
+    for piece_dest, piece_vals in incoming:
+        new_local[vec.map.local_indices(piece_dest)] = piece_vals
     return vec.like(new_local)
 
 

@@ -28,6 +28,23 @@ class TestSizeof:
         assert sizeof([1.0, 2.0]) == 24  # 2 floats + header
         assert sizeof({"k": 1.0}) == 17  # key + value + header
 
+    def test_numpy_scalars_sized_by_itemsize(self):
+        """Regression: np.int64(3) is not an `int` instance and used to
+        fall through to the 64-byte opaque guess."""
+        assert sizeof(np.int64(3)) == 8
+        assert sizeof(np.int32(3)) == 4
+        assert sizeof(np.float32(1.5)) == 4
+        assert sizeof(np.float64(1.5)) == 8  # float subclass, same answer
+        assert sizeof(np.complex128(1 + 2j)) == 16
+        assert sizeof(np.bool_(True)) == 1
+
+    def test_array_pair_payload_is_shallow(self):
+        """The packed alltoall payload shape: a flat (indices, values)
+        tuple of arrays — sized from .nbytes, not element recursion."""
+        idx = np.arange(100, dtype=np.int64)
+        vals = np.ones(100)
+        assert sizeof((idx, vals)) == idx.nbytes + vals.nbytes + 8
+
     def test_datatype_metadata(self):
         assert DOUBLE.size == 8 and INT.size == 4
         assert DOUBLE_COMPLEX.size == 16

@@ -95,3 +95,44 @@ def test_cyclic_owner_consistent_with_indices(n, p):
     for r in range(p):
         for i in m.global_indices(r):
             assert m.owner(int(i)) == r
+
+
+@pytest.mark.parametrize("cls", [BlockMap, CyclicMap])
+@given(n=st.integers(1, 400), p=st.integers(1, 23))
+def test_vectorized_owners_match_scalar(cls, n, p):
+    """owners()/local_indices() agree element-wise with owner()/
+    local_index() — including base == 0 (more ranks than elements)."""
+    m = cls(n, p)
+    idx = np.arange(n)
+    np.testing.assert_array_equal(
+        m.owners(idx), [m.owner(i) for i in range(n)])
+    np.testing.assert_array_equal(
+        m.local_indices(idx), [m.local_index(i) for i in range(n)])
+
+
+@pytest.mark.parametrize("cls", [BlockMap, CyclicMap])
+def test_vectorized_owners_more_ranks_than_elements(cls):
+    """The base == 0 edge explicitly: every element fits in the first
+    extra-sized blocks (block) or the first ranks (cyclic)."""
+    m = cls(3, 8)
+    idx = np.arange(3)
+    np.testing.assert_array_equal(
+        m.owners(idx), [m.owner(i) for i in range(3)])
+    np.testing.assert_array_equal(
+        m.local_indices(idx), [m.local_index(i) for i in range(3)])
+
+
+@pytest.mark.parametrize("cls", [BlockMap, CyclicMap])
+def test_vectorized_owners_out_of_range(cls):
+    m = cls(5, 2)
+    with pytest.raises(DistributionError):
+        m.owners(np.array([0, 5]))
+    with pytest.raises(DistributionError):
+        m.owners(np.array([-1, 2]))
+
+
+@pytest.mark.parametrize("cls", [BlockMap, CyclicMap])
+def test_vectorized_owners_empty(cls):
+    m = cls(5, 2)
+    assert m.owners(np.array([], dtype=int)).size == 0
+    assert m.local_indices(np.array([], dtype=int)).size == 0

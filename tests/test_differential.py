@@ -281,6 +281,7 @@ def test_cyclic_scheme_on_corpus(key, run_interp, run_compiled):
                 rtol=1e-9, atol=1e-12, err_msg=f"{key}:{name}")
 
 
+@pytest.mark.slow
 def test_readme_quickstart_snippet():
     """The README's quickstart block must actually work as shown."""
     from repro import OtterCompiler
