@@ -94,8 +94,14 @@ class CompiledProgram:
 
     def run(self, nprocs: int = 1, machine: MachineModel | None = None,
             seed: int = 0, scheme: str = "block",
-            cache_gathers: bool = False) -> RunResult:
-        """Execute on ``nprocs`` simulated ranks of ``machine``."""
+            cache_gathers: bool = False,
+            backend: str | None = None) -> RunResult:
+        """Execute on ``nprocs`` simulated ranks of ``machine``.
+
+        ``backend`` picks the SPMD execution backend (``"lockstep"`` or
+        ``"threads"``); ``None`` defers to ``REPRO_SPMD_BACKEND`` /
+        the lockstep default — see :func:`repro.mpi.executor.run_spmd`.
+        """
         from .mpi.machine import MEIKO_CS2
 
         machine = machine or MEIKO_CS2
@@ -121,7 +127,7 @@ class CompiledProgram:
             comm.world.clocks[comm.rank] = program_time
             return replicated
 
-        spmd = run_spmd(nprocs, machine, rank_main)
+        spmd = run_spmd(nprocs, machine, rank_main, backend=backend)
         workspace = spmd.results[0] or {}
         # drop never-assigned variables for a clean workspace view
         workspace = {k: v for k, v in workspace.items() if v is not None}

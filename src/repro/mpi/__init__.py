@@ -29,7 +29,14 @@ from .datatypes import (
     LONG,
     sizeof,
 )
-from .executor import SpmdResult, run_spmd
+from ..errors import MpiError
+from .executor import (
+    BACKEND_ENV_VAR,
+    BACKENDS,
+    SpmdResult,
+    resolve_backend,
+    run_spmd,
+)
 from .machine import (
     CpuModel,
     Link,
@@ -40,13 +47,15 @@ from .machine import (
     SUN_ENTERPRISE,
     get_machine,
 )
+from .scheduler import DeadlockError, LockstepScheduler
 
 __all__ = [
     "ANY_SOURCE", "ANY_TAG", "Comm", "World", "Request", "Status",
     "SUM", "PROD", "MAX", "MIN", "LAND", "LOR",
     "Datatype", "DOUBLE", "FLOAT", "INT", "LONG", "CHAR",
     "DOUBLE_COMPLEX", "BYTE", "sizeof",
-    "SpmdResult", "run_spmd",
+    "SpmdResult", "run_spmd", "BACKENDS", "BACKEND_ENV_VAR",
+    "resolve_backend", "LockstepScheduler", "DeadlockError", "MpiError",
     "CpuModel", "Link", "MachineModel", "MACHINES",
     "MEIKO_CS2", "SUN_ENTERPRISE", "SPARC20_CLUSTER", "get_machine",
 ]

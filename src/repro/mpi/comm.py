@@ -1,14 +1,27 @@
 """Simulated MPI: communicator, point-to-point, and collectives.
 
-Each SPMD rank runs on its own thread (see :mod:`repro.mpi.executor`).
-Data moves through in-process mailboxes and rendezvous slots — real
-values, really exchanged, so compiled programs compute real answers.
-*Time*, however, is virtual: every rank owns a clock, computation charges
-it through the machine's :class:`~repro.mpi.machine.MachineModel`, and
-every communication operation advances/synchronizes clocks according to
-the model's latency/bandwidth/topology.  Reported speedups are ratios of
-virtual times, which is what lets a laptop reproduce the shape of the
-paper's Meiko CS-2 / SMP / Ethernet-cluster results.
+Each SPMD rank runs on its own carrier thread (see
+:mod:`repro.mpi.executor`).  Data moves through in-process mailboxes and
+rendezvous slots — real values, really exchanged, so compiled programs
+compute real answers.  *Time*, however, is virtual: every rank owns a
+clock, computation charges it through the machine's
+:class:`~repro.mpi.machine.MachineModel`, and every communication
+operation advances/synchronizes clocks according to the model's
+latency/bandwidth/topology.  Reported speedups are ratios of virtual
+times, which is what lets a laptop reproduce the shape of the paper's
+Meiko CS-2 / SMP / Ethernet-cluster results.
+
+Two execution backends share this module (selected in
+:func:`~repro.mpi.executor.run_spmd`):
+
+* ``lockstep`` (default) — a cooperative scheduler
+  (:mod:`repro.mpi.scheduler`) gates the carrier threads so exactly one
+  rank runs at a time; blocking operations park the rank and hand off,
+  so there are no locks on the hot path, no condvar broadcasts, no
+  timeout polling, and runs are bit-deterministic.
+* ``threads`` — free-running threads rendezvousing on one
+  ``threading.Condition``; kept for differential testing of the
+  scheduler itself.
 
 The API mirrors mpi4py's lowercase (pickle-object) methods.
 """
@@ -28,7 +41,10 @@ from .machine import MachineModel
 ANY_SOURCE = -1
 ANY_TAG = -1
 
-_WAIT_TIMEOUT = 0.2  # seconds between abort checks while blocked
+_WAIT_TIMEOUT = 0.2  # seconds between abort checks while blocked (threads)
+
+#: sentinel for "no matching message yet" from a nonblocking probe
+_NOT_READY = object()
 
 
 class Status:
@@ -86,9 +102,15 @@ class _Abort(MpiError):
 
 
 class World:
-    """Shared state of one SPMD execution."""
+    """Shared state of one SPMD execution.
 
-    def __init__(self, nprocs: int, machine: MachineModel):
+    ``scheduler`` is a :class:`~repro.mpi.scheduler.LockstepScheduler`
+    when the cooperative backend is active, else ``None``.  Under
+    lockstep, exactly one rank runs at a time, so shared state is
+    mutated without taking ``cond``.
+    """
+
+    def __init__(self, nprocs: int, machine: MachineModel, scheduler=None):
         if nprocs < 1:
             raise MpiError("need at least one process")
         if nprocs > machine.max_cpus:
@@ -97,12 +119,16 @@ class World:
                 f"(asked for {nprocs})")
         self.nprocs = nprocs
         self.machine = machine
+        self.scheduler = scheduler
         self.clocks = [0.0] * nprocs
         self.cond = threading.Condition()
         # (src, dst, tag) -> deque of (payload, arrival_time, nbytes);
         # the wire size is computed once at send time and carried with
         # the message so receive-side accounting never re-walks payloads
         self.mailboxes: dict[tuple[int, int, int], deque] = {}
+        # lockstep: rank -> (source, tag) pattern it is parked on, so a
+        # matching send can unpark exactly that rank
+        self._recv_waiting: dict[int, tuple[int, int]] = {}
         self.aborted: Optional[BaseException] = None
         # collective rendezvous state
         self._slots: list[Any] = [None] * nprocs
@@ -129,32 +155,78 @@ class World:
         if self.aborted is not None:
             raise _Abort(f"peer rank failed: {self.aborted!r}")
 
+    def _count(self, op: str) -> None:
+        """Tally one collective by name.  Callers either hold ``cond``,
+        run under the lockstep baton, or are the only rank — so a plain
+        increment is race-free everywhere it is used."""
+        self.collective_counts[op] = self.collective_counts.get(op, 0) + 1
+
     # ------------------------------------------------------------------ #
     # rendezvous: every rank calls sync(contribute, combine);
-    # `combine(slots, tmax)` runs on exactly one rank and returns the
-    # (shared result, new common clock).
+    # `combine(slots, tmax)` runs on exactly one rank (the last to
+    # arrive) and returns the (shared result, new common clock).
+    # Collective accounting is folded into the rendezvous itself: the
+    # combining rank tallies `op`, so no caller takes a separate lock
+    # round-trip just to bump a counter.
     # ------------------------------------------------------------------ #
 
-    def count_collective(self, op: str) -> None:
-        with self.cond:
-            self.collective_counts[op] = \
-                self.collective_counts.get(op, 0) + 1
+    def _run_combine(self, combine: Callable, op: Optional[str]) -> None:
+        """All contributions are in: run ``combine`` exactly once and
+        publish the result for this generation."""
+        tmax = max(self.clocks)
+        result, tnew = combine(list(self._slots), tmax)
+        self._coll_result = result
+        self._coll_time = tnew
+        self._arrived = 0
+        self._generation += 1
+        self.collectives += 1
+        if op is not None:
+            self._count(op)
 
     def sync(self, rank: int, contribution: Any,
-             combine: Callable[[list, float], tuple[Any, float]]):
+             combine: Callable[[list, float], tuple[Any, float]],
+             op: Optional[str] = None):
+        if self.scheduler is not None:
+            return self._sync_lockstep(rank, contribution, combine, op)
+        return self._sync_threads(rank, contribution, combine, op)
+
+    def _sync_lockstep(self, rank: int, contribution: Any,
+                       combine: Callable, op: Optional[str]):
+        """Single-runner rendezvous: no locks, no broadcast, no polling.
+
+        Early ranks park; the last rank to arrive runs ``combine`` once
+        and unparks everyone.  A parked rank reads the published result
+        as its first action on resume, which happens-before any rank
+        can complete the *next* collective (that would require this rank
+        to have arrived there first), so one result slot suffices and no
+        departure barrier is needed.
+        """
+        self._check_abort()
+        self._slots[rank] = contribution
+        self._arrived += 1
+        if self._arrived < self.nprocs:
+            # reason is a lazy record; only a deadlock report formats it
+            self.scheduler.block(
+                rank, ("collective", op, self._arrived, self.nprocs))
+            self._check_abort()
+        else:
+            self._run_combine(combine, op)
+            self._slots = [None] * self.nprocs
+            for peer in range(self.nprocs):
+                if peer != rank:
+                    self.scheduler.unblock(peer)
+        self.clocks[rank] = max(self.clocks[rank], self._coll_time)
+        return self._coll_result
+
+    def _sync_threads(self, rank: int, contribution: Any,
+                      combine: Callable, op: Optional[str]):
         with self.cond:
             self._check_abort()
             generation = self._generation
             self._slots[rank] = contribution
             self._arrived += 1
             if self._arrived == self.nprocs:
-                tmax = max(self.clocks)
-                result, tnew = combine(list(self._slots), tmax)
-                self._coll_result = result
-                self._coll_time = tnew
-                self._arrived = 0
-                self._generation += 1
-                self.collectives += 1
+                self._run_combine(combine, op)
                 self.cond.notify_all()
             else:
                 while (self._generation == generation
@@ -177,12 +249,28 @@ class World:
 
 
 class Request:
-    """Handle for a nonblocking operation."""
+    """Handle for a nonblocking operation.
 
-    def __init__(self, wait_fn: Callable[[], Any]):
+    ``wait()`` blocks until completion.  ``test()`` mirrors MPI_Test:
+    it *attempts* completion via the nonblocking ``poll_fn`` (returning
+    ``_NOT_READY`` when the operation cannot finish yet) instead of
+    only reporting whether ``wait()`` already ran.
+    """
+
+    def __init__(self, wait_fn: Callable[[], Any],
+                 poll_fn: Optional[Callable[[], Any]] = None):
         self._wait_fn = wait_fn
+        self._poll_fn = poll_fn
         self._done = False
         self._value: Any = None
+
+    @classmethod
+    def completed(cls, value: Any = None) -> "Request":
+        """An already-finished request (buffered sends complete at post)."""
+        request = cls(lambda: value)
+        request._done = True
+        request._value = value
+        return request
 
     def wait(self) -> Any:
         if not self._done:
@@ -191,6 +279,14 @@ class Request:
         return self._value
 
     def test(self) -> bool:
+        """Try to complete without blocking; True once complete."""
+        if self._done:
+            return True
+        if self._poll_fn is not None:
+            value = self._poll_fn()
+            if value is not _NOT_READY:
+                self._value = value
+                self._done = True
         return self._done
 
 
@@ -232,38 +328,97 @@ class Comm:
             raise MpiError("send to self would deadlock; use sendrecv")
         nbytes = sizeof(obj)
         world = self.world
-        with world.cond:
-            world._check_abort()
-            t_send = world.clocks[self.rank]
-            arrival = t_send + self.machine.p2p_time(self.rank, dest, nbytes)
-            # buffered send: sender is occupied for the injection overhead
-            world.clocks[self.rank] = t_send + \
-                self.machine.link_between(self.rank, dest).latency * 0.5
-            key = (self.rank, dest, tag)
-            world.mailboxes.setdefault(key, deque()).append(
-                (obj, arrival, nbytes))
-            world.messages_sent += 1
-            world.bytes_sent += nbytes
-            world.cond.notify_all()
+        scheduler = world.scheduler
+        if scheduler is None:
+            with world.cond:
+                world._check_abort()
+                self._post_message(obj, dest, tag, nbytes)
+                world.cond.notify_all()
+            return
+        world._check_abort()
+        self._post_message(obj, dest, tag, nbytes)
+        # unpark the receiver iff it is parked on a matching pattern
+        waiting = world._recv_waiting.get(dest)
+        if waiting is not None:
+            wsource, wtag = waiting
+            if (wsource in (ANY_SOURCE, self.rank)
+                    and wtag in (ANY_TAG, tag)):
+                scheduler.unblock(dest)
+
+    def _post_message(self, obj: Any, dest: int, tag: int,
+                      nbytes: int) -> None:
+        """Charge the sender, enqueue the message, update statistics."""
+        world = self.world
+        t_send = world.clocks[self.rank]
+        arrival = t_send + self.machine.p2p_time(self.rank, dest, nbytes)
+        # buffered send: sender is occupied for the injection overhead
+        world.clocks[self.rank] = t_send + \
+            self.machine.link_between(self.rank, dest).latency * 0.5
+        key = (self.rank, dest, tag)
+        world.mailboxes.setdefault(key, deque()).append(
+            (obj, arrival, nbytes))
+        world.messages_sent += 1
+        world.bytes_sent += nbytes
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
              status: Optional[Status] = None) -> Any:
         world = self.world
-        with world.cond:
-            while True:
+        scheduler = world.scheduler
+        if scheduler is None:
+            with world.cond:
+                while True:
+                    world._check_abort()
+                    key = self._find_message(source, tag)
+                    if key is not None:
+                        return self._take_message(key, status)
+                    world.cond.wait(_WAIT_TIMEOUT)
+        while True:
+            world._check_abort()
+            key = self._find_message(source, tag)
+            if key is not None:
+                return self._take_message(key, status)
+            world._recv_waiting[self.rank] = (source, tag)
+            scheduler.block(self.rank, ("recv", source, tag))
+            world._recv_waiting.pop(self.rank, None)
+
+    def _take_message(self, key: tuple[int, int, int],
+                      status: Optional[Status]) -> Any:
+        """Dequeue a matched message and charge the receive clock."""
+        world = self.world
+        obj, arrival, nbytes = world.mailboxes[key].popleft()
+        if not world.mailboxes[key]:
+            del world.mailboxes[key]
+        me = world.clocks[self.rank]
+        world.clocks[self.rank] = max(me, arrival)
+        if status is not None:
+            status.source, status.tag = key[0], key[2]
+            status.nbytes = nbytes
+        return obj
+
+    def _try_recv(self, source: int, tag: int,
+                  status: Optional[Status] = None) -> Any:
+        """Nonblocking receive attempt: the matched payload, or
+        ``_NOT_READY``.  Under lockstep a miss rotates the baton once so
+        ``while not request.test()`` polling loops cannot starve the
+        sender, then re-probes."""
+        world = self.world
+        scheduler = world.scheduler
+        if scheduler is None:
+            with world.cond:
                 world._check_abort()
                 key = self._find_message(source, tag)
-                if key is not None:
-                    obj, arrival, nbytes = world.mailboxes[key].popleft()
-                    if not world.mailboxes[key]:
-                        del world.mailboxes[key]
-                    me = world.clocks[self.rank]
-                    world.clocks[self.rank] = max(me, arrival)
-                    if status is not None:
-                        status.source, status.tag = key[0], key[2]
-                        status.nbytes = nbytes
-                    return obj
-                world.cond.wait(_WAIT_TIMEOUT)
+                if key is None:
+                    return _NOT_READY
+                return self._take_message(key, status)
+        world._check_abort()
+        key = self._find_message(source, tag)
+        if key is None:
+            scheduler.yield_now(self.rank)
+            world._check_abort()
+            key = self._find_message(source, tag)
+        if key is None:
+            return _NOT_READY
+        return self._take_message(key, status)
 
     def _find_message(self, source: int, tag: int):
         for key in self.world.mailboxes:
@@ -289,31 +444,27 @@ class Comm:
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
         self.send(obj, dest, tag)  # buffered: completes immediately
-        request = Request(lambda: None)
-        request.wait()
-        return request
+        return Request.completed()
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
-        return Request(lambda: self.recv(source, tag))
+        return Request(wait_fn=lambda: self.recv(source, tag),
+                       poll_fn=lambda: self._try_recv(source, tag))
 
     # -- collectives ------------------------------------------------------ #
 
     def barrier(self) -> None:
-        if self.rank == 0:
-            self.world.count_collective('barrier')
         cost = self.machine.collective_time("barrier", 0, self.size)
 
         def combine(slots, tmax):
             return None, tmax + cost
 
-        self.world.sync(self.rank, None, combine)
+        self.world.sync(self.rank, None, combine, op="barrier")
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
-        if self.rank == 0:
-            self.world.count_collective('bcast')
         if not (0 <= root < self.size):
             raise MpiError(f"invalid root {root}")
         if self.size == 1:
+            self.world._count("bcast")
             return obj
         machine = self.machine
         size = self.size
@@ -324,7 +475,7 @@ class Comm:
             return payload, tmax + cost
 
         return self.world.sync(self.rank, obj if self.rank == root else None,
-                               combine)
+                               combine, op="bcast")
 
     def reduce(self, obj: Any, op: Callable = SUM, root: int = 0) -> Any:
         result = self._reduce_impl(obj, op, "reduce")
@@ -334,9 +485,8 @@ class Comm:
         return self._reduce_impl(obj, op, "allreduce")
 
     def _reduce_impl(self, obj: Any, op: Callable, kind: str) -> Any:
-        if self.rank == 0:
-            self.world.count_collective(kind)
         if self.size == 1:
+            self.world._count(kind)
             return obj
         machine = self.machine
         size = self.size
@@ -351,11 +501,9 @@ class Comm:
             cost += int(np.ceil(np.log2(size))) * elems * machine.cpu.elem_time
             return acc, tmax + cost
 
-        return self.world.sync(self.rank, obj, combine)
+        return self.world.sync(self.rank, obj, combine, op=kind)
 
     def gather(self, obj: Any, root: int = 0) -> Optional[list]:
-        if self.rank == 0:
-            self.world.count_collective('gather')
         machine = self.machine
         size = self.size
 
@@ -363,12 +511,10 @@ class Comm:
             cost = machine.collective_time("gather", sizeof(obj), size)
             return list(slots), tmax + cost
 
-        result = self.world.sync(self.rank, obj, combine)
+        result = self.world.sync(self.rank, obj, combine, op="gather")
         return result if self.rank == root else None
 
     def allgather(self, obj: Any) -> list:
-        if self.rank == 0:
-            self.world.count_collective('allgather')
         machine = self.machine
         size = self.size
 
@@ -376,11 +522,9 @@ class Comm:
             cost = machine.collective_time("allgather", sizeof(obj), size)
             return list(slots), tmax + cost
 
-        return self.world.sync(self.rank, obj, combine)
+        return self.world.sync(self.rank, obj, combine, op="allgather")
 
     def scatter(self, objs: Optional[list], root: int = 0) -> Any:
-        if self.rank == 0:
-            self.world.count_collective('scatter')
         machine = self.machine
         size = self.size
         if self.rank == root:
@@ -394,12 +538,11 @@ class Comm:
             return items, tmax + cost
 
         items = self.world.sync(self.rank,
-                                objs if self.rank == root else None, combine)
+                                objs if self.rank == root else None,
+                                combine, op="scatter")
         return items[self.rank]
 
     def alltoall(self, objs: list) -> list:
-        if self.rank == 0:
-            self.world.count_collective('alltoall')
         if len(objs) != self.size:
             raise MpiError("alltoall: need one item per rank")
         machine = self.machine
@@ -412,12 +555,10 @@ class Comm:
                           for dst in range(size)]
             return transposed, tmax + cost
 
-        result = self.world.sync(self.rank, objs, combine)
+        result = self.world.sync(self.rank, objs, combine, op="alltoall")
         return result[self.rank]
 
     def scan(self, obj: Any, op: Callable = SUM) -> Any:
-        if self.rank == 0:
-            self.world.count_collective('scan')
         """Inclusive prefix reduction."""
         machine = self.machine
         size = self.size
@@ -432,5 +573,5 @@ class Comm:
             cost = machine.collective_time("allreduce", sizeof(obj), size)
             return prefixes, tmax + cost
 
-        result = self.world.sync(self.rank, obj, combine)
+        result = self.world.sync(self.rank, obj, combine, op="scan")
         return result[rank]

@@ -1,20 +1,54 @@
 """SPMD launcher for the simulated MPI layer.
 
-``run_spmd`` starts one thread per rank, hands each a
+``run_spmd`` starts one carrier thread per rank, hands each a
 :class:`~repro.mpi.comm.Comm`, and collects results, per-rank virtual
-times, and any exception.  A failure on one rank aborts the world so peers
-blocked in ``recv``/collectives unwind instead of deadlocking.
+times, and any exception.  A failure on one rank aborts the world so
+peers blocked in ``recv``/collectives unwind instead of deadlocking.
+
+Two backends execute the rank programs (``backend=`` argument, or the
+``REPRO_SPMD_BACKEND`` environment variable; default ``lockstep``):
+
+``lockstep``
+    Cooperative: a :class:`~repro.mpi.scheduler.LockstepScheduler`
+    gates the carrier threads so exactly one rank runs at a time,
+    parking at blocking points and handing off.  Deterministic, nearly
+    free per extra rank, and it *detects* deadlock (reporting the full
+    blocked-rank wait graph) instead of hanging.
+
+``threads``
+    Free-running OS threads rendezvousing on a condition variable.
+    Kept for differential testing of the scheduler: both backends must
+    produce identical virtual times and communication statistics.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 from ..errors import MpiError
 from .comm import Comm, World, _Abort
 from .machine import MachineModel
+from .scheduler import LockstepScheduler
+
+BACKENDS = ("lockstep", "threads")
+
+#: environment override for the default backend (used by the CI matrix
+#: to run the whole suite under each backend)
+BACKEND_ENV_VAR = "REPRO_SPMD_BACKEND"
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Pick the SPMD backend: explicit argument > environment > default."""
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR) or "lockstep"
+    if backend not in BACKENDS:
+        raise MpiError(
+            f"unknown SPMD backend {backend!r} (expected one of "
+            f"{', '.join(BACKENDS)})")
+    return backend
 
 
 @dataclass
@@ -29,6 +63,7 @@ class SpmdResult:
     bytes_sent: int = 0
     collectives: int = 0
     collective_counts: dict[str, int] = field(default_factory=dict)
+    backend: str = "lockstep"
 
     @property
     def elapsed(self) -> float:
@@ -37,26 +72,41 @@ class SpmdResult:
 
 
 def run_spmd(nprocs: int, machine: MachineModel,
-             fn: Callable[..., Any], *args: Any, **kwargs: Any) -> SpmdResult:
+             fn: Callable[..., Any], *args: Any,
+             backend: Optional[str] = None, **kwargs: Any) -> SpmdResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` simulated ranks."""
-    world = World(nprocs, machine)
+    backend = resolve_backend(backend)
+    scheduler = LockstepScheduler(nprocs) if backend == "lockstep" else None
+    world = World(nprocs, machine, scheduler=scheduler)
+    if scheduler is not None:
+        scheduler.on_deadlock = world.abort
     results: list[Any] = [None] * nprocs
     errors: list[tuple[int, BaseException]] = []
     lock = threading.Lock()
 
     def worker(rank: int) -> None:
         comm = Comm(world, rank)
+        if scheduler is not None:
+            scheduler.start_rank(rank)
         try:
-            results[rank] = fn(comm, *args, **kwargs)
+            if world.aborted is None:
+                results[rank] = fn(comm, *args, **kwargs)
         except _Abort:
             pass  # a peer failed; its error is the one to report
         except BaseException as exc:  # noqa: BLE001 - must not deadlock
             with lock:
                 errors.append((rank, exc))
             world.abort(exc)
+            if scheduler is not None:
+                scheduler.abort()
+        finally:
+            if scheduler is not None:
+                scheduler.finish_rank(rank)
 
+    if scheduler is not None:
+        scheduler.kickoff()
     if nprocs == 1:
-        # fast path: no threads needed
+        # fast path: no threads needed (the baton, if any, is pre-set)
         worker(0)
     else:
         threads = [threading.Thread(target=worker, args=(rank,),
@@ -70,6 +120,12 @@ def run_spmd(nprocs: int, machine: MachineModel,
     if errors:
         rank, exc = min(errors, key=lambda pair: pair[0])
         raise MpiError(f"rank {rank} failed: {exc}") from exc
+    if world.aborted is not None:
+        # no rank raised, yet the world aborted: the scheduler detected
+        # a deadlock and recorded the wait graph as the abort cause
+        if isinstance(world.aborted, MpiError):
+            raise world.aborted
+        raise MpiError(f"SPMD run aborted: {world.aborted}")
 
     return SpmdResult(
         results=results,
@@ -80,4 +136,5 @@ def run_spmd(nprocs: int, machine: MachineModel,
         bytes_sent=world.bytes_sent,
         collectives=world.collectives,
         collective_counts=dict(world.collective_counts),
+        backend=backend,
     )

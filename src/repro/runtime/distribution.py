@@ -11,7 +11,8 @@ benchmark.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
@@ -24,18 +25,32 @@ class BlockMap:
 
     The first ``n % nprocs`` ranks receive one extra item, so sizes differ
     by at most one and the partition is contiguous.
+
+    The ``base``/``extra`` split is computed once at construction and all
+    per-rank queries are O(1) in ``nprocs`` — per-operation distribution
+    math must not grow with the rank count, or simulated ranks stop being
+    cheap (each of P ranks would pay O(P) per op, O(P^2) total).
     """
 
     n: int
     nprocs: int
+    base: int = field(init=False, repr=False, compare=False)
+    extra: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self):
+        base, extra = divmod(self.n, self.nprocs)
+        object.__setattr__(self, "base", base)
+        object.__setattr__(self, "extra", extra)
 
     def count(self, rank: int) -> int:
-        base, extra = divmod(self.n, self.nprocs)
-        return base + (1 if rank < extra else 0)
+        return self.base + (1 if rank < self.extra else 0)
+
+    def min_count(self) -> int:
+        """Smallest block size across ranks, O(1)."""
+        return self.base
 
     def start(self, rank: int) -> int:
-        base, extra = divmod(self.n, self.nprocs)
-        return rank * base + min(rank, extra)
+        return rank * self.base + min(rank, self.extra)
 
     def stop(self, rank: int) -> int:
         return self.start(rank) + self.count(rank)
@@ -45,7 +60,7 @@ class BlockMap:
         if not 0 <= index < self.n:
             raise DistributionError(
                 f"index {index} out of range for extent {self.n}")
-        base, extra = divmod(self.n, self.nprocs)
+        base, extra = self.base, self.extra
         boundary = extra * (base + 1)
         if index < boundary:
             return index // (base + 1) if base + 1 else 0
@@ -68,7 +83,7 @@ class BlockMap:
             bad = idx[(idx < 0) | (idx >= self.n)][0]
             raise DistributionError(
                 f"index {bad} out of range for extent {self.n}")
-        base, extra = divmod(self.n, self.nprocs)
+        base, extra = self.base, self.extra
         boundary = extra * (base + 1)
         # below the boundary blocks have base+1 items; above, base items
         # (base == 0 cannot occur above the boundary for in-range indices:
@@ -81,15 +96,14 @@ class BlockMap:
         """Vectorized :meth:`local_index`: position on the owning rank."""
         idx = np.asarray(indices, dtype=np.int64)
         owners = self.owners(idx)
-        base, extra = divmod(self.n, self.nprocs)
-        starts = owners * base + np.minimum(owners, extra)
+        starts = owners * self.base + np.minimum(owners, self.extra)
         return idx - starts
 
     def counts(self) -> list[int]:
-        return [self.count(r) for r in range(self.nprocs)]
+        return list(_block_counts(self.n, self.nprocs))
 
     def starts(self) -> list[int]:
-        return [self.start(r) for r in range(self.nprocs)]
+        return list(_block_starts(self.n, self.nprocs))
 
 
 @dataclass(frozen=True)
@@ -106,6 +120,10 @@ class CyclicMap:
     def count(self, rank: int) -> int:
         return (self.n - rank + self.nprocs - 1) // self.nprocs \
             if rank < self.nprocs else 0
+
+    def min_count(self) -> int:
+        """Smallest block size across ranks, O(1)."""
+        return self.count(self.nprocs - 1)
 
     def owner(self, index: int) -> int:
         if not 0 <= index < self.n:
@@ -133,4 +151,36 @@ class CyclicMap:
         return np.arange(rank, self.n, self.nprocs)
 
     def counts(self) -> list[int]:
-        return [self.count(r) for r in range(self.nprocs)]
+        return list(_cyclic_counts(self.n, self.nprocs))
+
+
+# -- memoized geometry -------------------------------------------------- #
+# Maps are value objects keyed by (n, nprocs); SPMD programs construct
+# the same few geometries thousands of times (every DMatrix builds one),
+# so both the instances and their O(nprocs) count/start tables are
+# shared process-wide.
+
+
+@lru_cache(maxsize=4096)
+def get_map(scheme: str, n: int, nprocs: int):
+    """Shared BlockMap/CyclicMap instance for this geometry."""
+    return (BlockMap(n, nprocs) if scheme == "block"
+            else CyclicMap(n, nprocs))
+
+
+@lru_cache(maxsize=4096)
+def _block_counts(n: int, nprocs: int) -> tuple[int, ...]:
+    m = get_map("block", n, nprocs)
+    return tuple(m.count(r) for r in range(nprocs))
+
+
+@lru_cache(maxsize=4096)
+def _block_starts(n: int, nprocs: int) -> tuple[int, ...]:
+    m = get_map("block", n, nprocs)
+    return tuple(m.start(r) for r in range(nprocs))
+
+
+@lru_cache(maxsize=4096)
+def _cyclic_counts(n: int, nprocs: int) -> tuple[int, ...]:
+    m = get_map("cyclic", n, nprocs)
+    return tuple(m.count(r) for r in range(nprocs))

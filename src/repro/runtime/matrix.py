@@ -21,7 +21,7 @@ from typing import Union
 import numpy as np
 
 from ..errors import DistributionError
-from .distribution import BlockMap, CyclicMap
+from .distribution import BlockMap, CyclicMap, get_map
 from .memory import record_allocation
 
 Scalar = Union[float, complex]
@@ -44,8 +44,7 @@ class DMatrix:
         self.scheme = scheme
         self.layout = "elems" if self.is_vector else "rows"
         extent = self.rows * self.cols if self.layout == "elems" else self.rows
-        self.map = (BlockMap(extent, nprocs) if scheme == "block"
-                    else CyclicMap(extent, nprocs))
+        self.map = get_map(scheme, extent, nprocs)
         self.local = local
         #: memoized full array (the replicate-on-first-use cache; None
         #: until the first gather when the cache is enabled).  Sound
@@ -80,7 +79,7 @@ class DMatrix:
         return self.rows == 1 and self.cols != 1
 
     def local_count(self) -> int:
-        return int(np.prod(self.local_shape()))
+        return self.local.size
 
     def local_shape(self) -> tuple[int, ...]:
         if self.layout == "elems":
@@ -133,8 +132,7 @@ class DMatrix:
         rows, cols = full.shape
         is_vec = rows == 1 or cols == 1
         extent = rows * cols if is_vec else rows
-        amap = (BlockMap(extent, nprocs) if scheme == "block"
-                else CyclicMap(extent, nprocs))
+        amap = get_map(scheme, extent, nprocs)
         if is_vec:
             flat = full.reshape(-1, order="F")
             idx = (amap.global_indices(rank) if isinstance(amap, CyclicMap)

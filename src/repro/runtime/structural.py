@@ -70,7 +70,7 @@ def _circshift_vector(rt, vec: DMatrix, k: int) -> DMatrix:
     if k == 0:
         rt.comm.overhead()
         return vec.like(vec.local.copy())
-    min_count = min(vec.map.counts())
+    min_count = vec.map.min_count()
     if 0 < k <= min_count and rt.size > 1:
         return _circshift_ring(rt, vec, k)
     if 0 < (n - k) <= min_count and rt.size > 1:

@@ -1,0 +1,182 @@
+"""Lockstep scheduler: backend selection, determinism, deadlock
+detection, and the MPI_Test semantics of ``Request.test()``."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import (
+    BACKEND_ENV_VAR,
+    BACKENDS,
+    MEIKO_CS2,
+    DeadlockError,
+    MpiError,
+    resolve_backend,
+    run_spmd,
+)
+
+
+class TestBackendSelection:
+    def test_default_is_lockstep(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend() == "lockstep"
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "threads")
+        assert resolve_backend() == "threads"
+        res = run_spmd(2, MEIKO_CS2, lambda comm: comm.rank)
+        assert res.backend == "threads"
+
+    def test_argument_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "threads")
+        assert resolve_backend("lockstep") == "lockstep"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(MpiError, match="unknown SPMD backend"):
+            run_spmd(2, MEIKO_CS2, lambda comm: None, backend="fibers")
+
+    def test_result_records_backend(self):
+        for backend in BACKENDS:
+            res = run_spmd(3, MEIKO_CS2, lambda comm: comm.rank,
+                           backend=backend)
+            assert res.backend == backend
+            assert res.results == [0, 1, 2]
+
+
+class TestDeterminism:
+    @staticmethod
+    def _prog(comm):
+        acc = float(comm.rank + 1)
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        for step in range(4):
+            acc = comm.sendrecv(acc, dest=right, source=left, sendtag=step,
+                                recvtag=step)
+            comm.compute(flops=100 * (comm.rank + 1))
+            acc = comm.allreduce(acc)
+        return acc
+
+    def test_repeated_lockstep_runs_identical(self):
+        a = run_spmd(5, MEIKO_CS2, self._prog, backend="lockstep")
+        b = run_spmd(5, MEIKO_CS2, self._prog, backend="lockstep")
+        assert a.results == b.results
+        assert a.times == b.times
+        assert a.messages_sent == b.messages_sent
+        assert a.bytes_sent == b.bytes_sent
+        assert a.collective_counts == b.collective_counts
+
+
+class TestDeadlockDetection:
+    def test_recv_with_no_sender(self):
+        def prog(comm):
+            if comm.rank == 0:
+                return comm.recv(source=1)
+            return None  # rank 1 exits without sending
+
+        with pytest.raises(DeadlockError) as excinfo:
+            run_spmd(2, MEIKO_CS2, prog, backend="lockstep")
+        message = str(excinfo.value)
+        assert "no simulated rank can make progress" in message
+        assert "rank 0: blocked in recv(source=1, tag=-1)" in message
+        assert "rank 1: done" in message
+
+    def test_mutual_recv_cycle(self):
+        def prog(comm):
+            return comm.recv(source=1 - comm.rank)
+
+        with pytest.raises(DeadlockError) as excinfo:
+            run_spmd(2, MEIKO_CS2, prog, backend="lockstep")
+        message = str(excinfo.value)
+        assert "rank 0: blocked in recv(source=1" in message
+        assert "rank 1: blocked in recv(source=0" in message
+
+    def test_collective_mismatch(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.barrier()
+            else:
+                comm.recv(source=0)
+
+        with pytest.raises(DeadlockError) as excinfo:
+            run_spmd(2, MEIKO_CS2, prog, backend="lockstep")
+        message = str(excinfo.value)
+        assert "barrier (1/2 arrived)" in message
+        assert "recv(source=0" in message
+
+    def test_single_rank_recv_never_satisfied(self):
+        # p == 1 runs inline on the calling thread; the scheduler must
+        # still turn "waits forever" into a report
+        with pytest.raises(DeadlockError):
+            run_spmd(1, MEIKO_CS2, lambda comm: comm.recv(source=0),
+                     backend="lockstep")
+
+    def test_deadlock_is_an_mpi_error(self):
+        def prog(comm):
+            return comm.recv(source=1 - comm.rank)
+
+        with pytest.raises(MpiError):
+            run_spmd(2, MEIKO_CS2, prog, backend="lockstep")
+
+
+class TestRequestTest:
+    """``Request.test()`` must *attempt* completion (MPI_Test), not just
+    report whether ``wait()`` already happened."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_irecv_completes_via_test_alone(self, backend):
+        def prog(comm):
+            if comm.rank == 1:
+                comm.send(np.arange(3.0), dest=0, tag=7)
+                comm.barrier()
+                return None
+            request = comm.irecv(source=1, tag=7)
+            comm.barrier()  # after this the message is in flight
+            # regression: this used to stay False forever unless wait()
+            # was called first
+            assert request.test()
+            return float(request.wait().sum())
+
+        res = run_spmd(2, MEIKO_CS2, prog, backend=backend)
+        assert res.results[0] == 3.0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_spin_on_test_makes_progress(self, backend):
+        # rank 0 polls before rank 1 has sent: under lockstep the poll
+        # must rotate the baton (yield_now) or the sender never runs
+        def prog(comm):
+            if comm.rank == 0:
+                request = comm.irecv(source=1, tag=3)
+                spins = 0
+                while not request.test():
+                    spins += 1
+                    assert spins < 100_000, "test() loop never completed"
+                return request.wait()
+            comm.send("payload", dest=0, tag=3)
+            return None
+
+        res = run_spmd(2, MEIKO_CS2, prog, backend=backend)
+        assert res.results[0] == "payload"
+
+    def test_test_then_wait_returns_same_value(self):
+        def prog(comm):
+            if comm.rank == 1:
+                comm.send(42, dest=0)
+                return None
+            request = comm.irecv(source=1)
+            while not request.test():
+                pass
+            # wait() after a successful test() must not re-receive
+            return (request.wait(), request.wait())
+
+        res = run_spmd(2, MEIKO_CS2, prog, backend="lockstep")
+        assert res.results[0] == (42, 42)
+
+    def test_isend_is_complete_at_post(self):
+        def prog(comm):
+            if comm.rank == 0:
+                request = comm.isend(1.5, dest=1)
+                assert request.test()
+                return request.wait()
+            return comm.recv(source=0)
+
+        res = run_spmd(2, MEIKO_CS2, prog, backend="lockstep")
+        assert res.results[1] == 1.5
