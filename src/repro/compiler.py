@@ -98,9 +98,10 @@ class CompiledProgram:
             backend: str | None = None) -> RunResult:
         """Execute on ``nprocs`` simulated ranks of ``machine``.
 
-        ``backend`` picks the SPMD execution backend (``"lockstep"`` or
-        ``"threads"``); ``None`` defers to ``REPRO_SPMD_BACKEND`` /
-        the lockstep default — see :func:`repro.mpi.executor.run_spmd`.
+        ``backend`` picks the SPMD execution backend (``"lockstep"``,
+        ``"threads"``, or ``"fused"``); ``None`` defers to
+        ``REPRO_SPMD_BACKEND`` / the lockstep default — see
+        :func:`repro.mpi.executor.run_spmd`.
         """
         from .mpi.machine import MEIKO_CS2
 
@@ -116,18 +117,29 @@ class CompiledProgram:
                                 scheme=scheme, provider=provider,
                                 cache_gathers=cache_gathers)
             workspace = main(rt)
-            peaks[comm.rank] = rt.peak_local_bytes
-            program_time = comm.time
+            peaks[rt.rank] = rt.peak_local_bytes
+            clocks = comm.clock_snapshot()
             # Replicate the final workspace (gathers run on every rank, in
             # the same deterministic order) so callers see plain values.
             # This is *instrumentation* — roll its cost back off the
             # virtual clock so `elapsed` measures only the program.
             replicated = {name: rt.to_interp_value(value)
                           for name, value in workspace.items()}
-            comm.world.clocks[comm.rank] = program_time
+            comm.clock_restore(clocks)
             return replicated
 
-        spmd = run_spmd(nprocs, machine, rank_main, backend=backend)
+        def discard_partial_fused():
+            # a diverged fused pass may have produced output/peaks already;
+            # the lockstep re-run must start from a clean slate
+            output.clear()
+            peaks.clear()
+
+        spmd = run_spmd(nprocs, machine, rank_main, backend=backend,
+                        on_fused_fallback=discard_partial_fused)
+        if spmd.backend == "fused":
+            # one pass stood in for all ranks: its (rank-0-modeled) peak
+            # applies to every rank's local share estimate
+            peaks.update({r: peaks.get(0, 0) for r in range(nprocs)})
         workspace = spmd.results[0] or {}
         # drop never-assigned variables for a clean workspace view
         workspace = {k: v for k, v in workspace.items() if v is not None}

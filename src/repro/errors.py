@@ -81,5 +81,13 @@ class MpiError(OtterError):
     """Raised by the simulated MPI layer on protocol misuse."""
 
 
+class FusionDivergence(OtterError):
+    """Raised under the ``fused`` SPMD backend when a program's control
+    flow (or an operation without a fused path) would depend on the
+    individual rank.  ``run_spmd`` catches it and transparently re-runs
+    the program under ``lockstep`` — fusion is an optimization, never a
+    semantics change."""
+
+
 class DistributionError(OtterError):
     """Raised by the data-distribution machinery on invalid layouts."""

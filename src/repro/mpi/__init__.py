@@ -29,7 +29,7 @@ from .datatypes import (
     LONG,
     sizeof,
 )
-from ..errors import MpiError
+from ..errors import FusionDivergence, MpiError
 from .executor import (
     BACKEND_ENV_VAR,
     BACKENDS,
@@ -37,6 +37,7 @@ from .executor import (
     resolve_backend,
     run_spmd,
 )
+from .fused import FusedComm, PerRankScalar
 from .machine import (
     CpuModel,
     Link,
@@ -56,6 +57,7 @@ __all__ = [
     "DOUBLE_COMPLEX", "BYTE", "sizeof",
     "SpmdResult", "run_spmd", "BACKENDS", "BACKEND_ENV_VAR",
     "resolve_backend", "LockstepScheduler", "DeadlockError", "MpiError",
+    "FusedComm", "PerRankScalar", "FusionDivergence",
     "CpuModel", "Link", "MachineModel", "MACHINES",
     "MEIKO_CS2", "SUN_ENTERPRISE", "SPARC20_CLUSTER", "get_machine",
 ]

@@ -319,6 +319,14 @@ class Comm:
         """Charge run-time-library call overhead."""
         self.advance(calls * self.machine.cpu.call_overhead)
 
+    def clock_snapshot(self):
+        """Opaque snapshot of this rank's clock (see ``clock_restore``)."""
+        return self.world.clocks[self.rank]
+
+    def clock_restore(self, snapshot) -> None:
+        """Roll the clock back to a snapshot (instrumentation support)."""
+        self.world.clocks[self.rank] = snapshot
+
     # -- point-to-point -------------------------------------------------- #
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
@@ -495,9 +503,10 @@ class Comm:
             acc = slots[0]
             for item in slots[1:]:
                 acc = op(acc, item)
-            cost = machine.collective_time(kind, sizeof(obj), size)
+            nbytes = max(sizeof(s) for s in slots)
+            cost = machine.collective_time(kind, nbytes, size)
             # reduction arithmetic itself: log2(P) combining steps
-            elems = sizeof(obj) / 8.0
+            elems = nbytes / 8.0
             cost += int(np.ceil(np.log2(size))) * elems * machine.cpu.elem_time
             return acc, tmax + cost
 
@@ -508,7 +517,8 @@ class Comm:
         size = self.size
 
         def combine(slots, tmax):
-            cost = machine.collective_time("gather", sizeof(obj), size)
+            nbytes = max(sizeof(s) for s in slots)
+            cost = machine.collective_time("gather", nbytes, size)
             return list(slots), tmax + cost
 
         result = self.world.sync(self.rank, obj, combine, op="gather")
@@ -519,7 +529,8 @@ class Comm:
         size = self.size
 
         def combine(slots, tmax):
-            cost = machine.collective_time("allgather", sizeof(obj), size)
+            nbytes = max(sizeof(s) for s in slots)
+            cost = machine.collective_time("allgather", nbytes, size)
             return list(slots), tmax + cost
 
         return self.world.sync(self.rank, obj, combine, op="allgather")
@@ -570,7 +581,8 @@ class Comm:
             for item in slots:
                 acc = item if acc is None else op(acc, item)
                 prefixes.append(acc)
-            cost = machine.collective_time("allreduce", sizeof(obj), size)
+            nbytes = max(sizeof(s) for s in slots)
+            cost = machine.collective_time("allreduce", nbytes, size)
             return prefixes, tmax + cost
 
         result = self.world.sync(self.rank, obj, combine, op="scan")

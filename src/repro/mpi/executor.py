@@ -19,6 +19,17 @@ Two backends execute the rank programs (``backend=`` argument, or the
     Free-running OS threads rendezvousing on a condition variable.
     Kept for differential testing of the scheduler: both backends must
     produce identical virtual times and communication statistics.
+
+``fused``
+    Rank fusion: the program runs **once** with a
+    :class:`~repro.mpi.fused.FusedComm` carrying all ranks' state, so
+    the interpreter's control-flow overhead is paid once instead of P
+    times.  Accounting (virtual clocks, message/byte/collective counts)
+    is bit-identical to ``lockstep``.  If the program turns out to be
+    rank-dependent (it reads ``comm.rank``, or hits an op with no fused
+    path), the run raises :class:`~repro.errors.FusionDivergence` and
+    ``run_spmd`` transparently re-runs it under ``lockstep`` — fusion is
+    an optimization, never a semantics change.
 """
 
 from __future__ import annotations
@@ -28,12 +39,13 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-from ..errors import MpiError
+from ..errors import FusionDivergence, MpiError
 from .comm import Comm, World, _Abort
+from .fused import FusedComm
 from .machine import MachineModel
 from .scheduler import LockstepScheduler
 
-BACKENDS = ("lockstep", "threads")
+BACKENDS = ("lockstep", "threads", "fused")
 
 #: environment override for the default backend (used by the CI matrix
 #: to run the whole suite under each backend)
@@ -73,9 +85,39 @@ class SpmdResult:
 
 def run_spmd(nprocs: int, machine: MachineModel,
              fn: Callable[..., Any], *args: Any,
-             backend: Optional[str] = None, **kwargs: Any) -> SpmdResult:
-    """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` simulated ranks."""
+             backend: Optional[str] = None,
+             on_fused_fallback: Optional[Callable[[], Any]] = None,
+             **kwargs: Any) -> SpmdResult:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` simulated ranks.
+
+    ``on_fused_fallback`` is invoked (if given) when a ``fused`` run
+    diverges, *before* the lockstep re-run — callers use it to discard
+    any partial side effects the aborted fused pass left behind.
+    """
     backend = resolve_backend(backend)
+    if backend == "fused":
+        comm = FusedComm(nprocs, machine)  # validates nprocs vs machine
+        try:
+            result = fn(comm, *args, **kwargs)
+        except FusionDivergence:
+            if on_fused_fallback is not None:
+                on_fused_fallback()
+            return run_spmd(nprocs, machine, fn, *args,
+                            backend="lockstep", **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - parity with lockstep
+            raise MpiError(f"rank 0 failed: {exc}") from exc
+        world = comm.world
+        return SpmdResult(
+            results=[result] * nprocs,
+            times=list(world.clocks),
+            machine=machine,
+            nprocs=nprocs,
+            messages_sent=world.messages_sent,
+            bytes_sent=world.bytes_sent,
+            collectives=world.collectives,
+            collective_counts=dict(world.collective_counts),
+            backend="fused",
+        )
     scheduler = LockstepScheduler(nprocs) if backend == "lockstep" else None
     world = World(nprocs, machine, scheduler=scheduler)
     if scheduler is not None:

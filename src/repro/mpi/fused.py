@@ -1,0 +1,296 @@
+"""The rank-fused SPMD backend's communicator facade.
+
+``backend="fused"`` executes a generated program **once** instead of P
+times: the program's control flow is identical on every rank (loosely
+synchronous SPMD — pass 5 guards all rank-dependent stores), so one pass
+can carry all ranks' state simultaneously.  Distributed values become
+:class:`~repro.runtime.matrix.FusedDMatrix` (the full array plus the
+distribution geometry); replicated scalars stay single Python numbers.
+
+:class:`FusedComm` is the communication/accounting half of that design.
+Communication ops never move data here — the fused runtime paths already
+computed every rank's result as an in-process permutation or reduction —
+but each op charges **exactly** what the lockstep backend would charge:
+
+* per-rank virtual clocks (``compute_ranks`` groups ranks by identical
+  work, so a P-rank charge costs O(distinct counts) model evaluations);
+* ``messages_sent`` / ``bytes_sent`` for point-to-point patterns
+  (``ring_exchange`` mirrors P simultaneous ``sendrecv`` calls);
+* ``collectives`` / ``collective_counts`` via the ``charge_*`` helpers,
+  which replicate the lockstep cost formulas byte for byte — including
+  the ``size == 1`` shortcut of bcast/reduce/allreduce that tallies the
+  op without a rendezvous.
+
+The collective cost formulas in :mod:`repro.mpi.comm` are symmetric
+functions of the per-rank contributions (max of ``sizeof``), so the
+fused charges are *bit-identical* to lockstep without simulating the
+scheduler's arrival order.
+
+Divergence: anything that would make the single pass rank-dependent —
+reading ``comm.rank``, point-to-point with data, rank-dependent truth
+values — raises :class:`~repro.errors.FusionDivergence`; ``run_spmd``
+catches it and re-runs the program under ``lockstep``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import FusionDivergence
+from . import datatypes
+from .comm import SUM, World
+from .machine import MachineModel
+
+
+class PerRankScalar:
+    """A scalar whose value differs across the fused ranks (``toc`` is
+    the canonical producer: clocks advance per rank).  Collapses back to
+    a plain float wherever the values agree; using a disagreeing one for
+    control flow or as a replicated scalar raises FusionDivergence."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Sequence):
+        self.values = tuple(
+            complex(v) if isinstance(v, (complex, np.complexfloating))
+            else float(v) for v in values)
+
+    def collapse(self):
+        """A plain scalar when all ranks agree, else self."""
+        if len(set(self.values)) == 1:
+            return self.values[0]
+        return self
+
+    def __repr__(self) -> str:
+        return f"PerRankScalar({list(self.values)})"
+
+    # Any implicit coercion means a code path without explicit per-rank
+    # handling is about to treat this as a replicated value — abort
+    # fusion rather than silently computing one rank's answer.
+
+    def _diverge(self):
+        raise FusionDivergence(
+            "rank-varying scalar used as a replicated value")
+
+    def __array__(self, dtype=None, copy=None):
+        self._diverge()
+
+    def __float__(self):
+        self._diverge()
+
+    def __int__(self):
+        self._diverge()
+
+    def __index__(self):
+        self._diverge()
+
+    def __complex__(self):
+        self._diverge()
+
+    def __bool__(self):
+        self._diverge()
+
+
+class FusedComm:
+    """All P ranks' communicator, driven by one pass of the program.
+
+    Exposes the subset of the :class:`~repro.mpi.comm.Comm` surface that
+    rank-agnostic runtime code needs (``size``, ``machine``, replicated
+    ``compute``/``overhead``/``advance``, and the replicated collectives
+    ``barrier``/``bcast``/``allreduce``/``allgather``), plus the fused
+    accounting helpers.  Everything rank-dependent raises
+    :class:`FusionDivergence`.
+    """
+
+    is_fused = True
+
+    def __init__(self, nprocs: int, machine: MachineModel):
+        # World doubles as the stats/clocks container so SpmdResult and
+        # compiler instrumentation read the same fields on every backend
+        self.world = World(nprocs, machine)
+        self.size = nprocs
+        self.machine = machine
+
+    # -- identity --------------------------------------------------------- #
+
+    @property
+    def rank(self) -> int:
+        raise FusionDivergence("program reads the MPI rank")
+
+    @property
+    def clocks(self) -> list:
+        return self.world.clocks
+
+    @property
+    def time(self) -> float:
+        raise FusionDivergence("per-rank clock read outside tic/toc")
+
+    def clock_snapshot(self):
+        return list(self.world.clocks)
+
+    def clock_restore(self, snapshot) -> None:
+        self.world.clocks[:] = snapshot
+
+    # -- replicated virtual time ------------------------------------------ #
+
+    def advance(self, dt: float) -> None:
+        if dt < 0:
+            raise FusionDivergence("cannot advance the clock backwards")
+        for r in range(self.size):
+            self.world.clocks[r] += dt
+
+    def compute(self, flops: int = 0, elems: int = 0, mem: int = 0) -> None:
+        """Identical local computation on every rank."""
+        self.advance(self.machine.compute_time(
+            flops=flops, elems=elems, mem=mem, active_cpus=self.size))
+
+    def overhead(self, calls: int = 1) -> None:
+        self.advance(calls * self.machine.cpu.call_overhead)
+
+    def compute_ranks(self, flops: Optional[Sequence[int]] = None,
+                      elems: Optional[Sequence[int]] = None,
+                      mem: Optional[Sequence[int]] = None) -> None:
+        """Per-rank local computation (one sequence entry per rank).
+
+        Block distributions produce at most two distinct counts, so the
+        model is evaluated O(1) times and the result memoized per charge.
+        """
+        clocks = self.world.clocks
+        memo: dict = {}
+        for r in range(self.size):
+            key = (flops[r] if flops is not None else 0,
+                   elems[r] if elems is not None else 0,
+                   mem[r] if mem is not None else 0)
+            dt = memo.get(key)
+            if dt is None:
+                dt = self.machine.compute_time(
+                    flops=key[0], elems=key[1], mem=key[2],
+                    active_cpus=self.size)
+                memo[key] = dt
+            clocks[r] += dt
+
+    # -- collective accounting -------------------------------------------- #
+
+    def _sync_cost(self, op: str, cost: float) -> None:
+        """One rendezvous: all clocks meet at max + cost (exactly what
+        ``World._run_combine`` + the per-rank ``max`` does), and the
+        collective tallies advance."""
+        w = self.world
+        tnew = max(w.clocks) + cost
+        w.clocks[:] = [tnew] * self.size
+        w.collectives += 1
+        w._count(op)
+
+    def charge_barrier(self) -> None:
+        self._sync_cost("barrier", self.machine.collective_time(
+            "barrier", 0, self.size))
+
+    def charge_bcast(self, nbytes: int) -> None:
+        if self.size == 1:
+            self.world._count("bcast")
+            return
+        self._sync_cost("bcast", self.machine.collective_time(
+            "bcast", nbytes, self.size))
+
+    def charge_reduce(self, nbytes: int, kind: str = "allreduce") -> None:
+        if self.size == 1:
+            self.world._count(kind)
+            return
+        cost = self.machine.collective_time(kind, nbytes, self.size)
+        cost += int(np.ceil(np.log2(self.size))) * (nbytes / 8.0) \
+            * self.machine.cpu.elem_time
+        self._sync_cost(kind, cost)
+
+    def charge_allgather(self, nbytes: int) -> None:
+        self._sync_cost("allgather", self.machine.collective_time(
+            "allgather", nbytes, self.size))
+
+    def charge_alltoall(self, per_nbytes: int) -> None:
+        self._sync_cost("alltoall", self.machine.collective_time(
+            "alltoall", per_nbytes, self.size))
+
+    def charge_scan(self, nbytes: int) -> None:
+        # comm.scan tallies as "scan" but costs like an allreduce
+        self._sync_cost("scan", self.machine.collective_time(
+            "allreduce", nbytes, self.size))
+
+    def ring_exchange(self, nbytes: int, forward: bool) -> None:
+        """Accounting for P simultaneous ``sendrecv`` calls with the ring
+        neighbour (circshift's boundary exchange): each rank charges the
+        buffered-send injection at its pre-op clock, posts the arrival,
+        then waits for its own incoming boundary."""
+        w = self.world
+        p = self.size
+        if p == 1:
+            return  # self-exchange: no wire traffic
+        pre = list(w.clocks)
+        arrivals = [0.0] * p
+        for r in range(p):
+            dest = (r + 1) % p if forward else (r - 1) % p
+            arrivals[dest] = pre[r] + self.machine.p2p_time(r, dest, nbytes)
+            w.clocks[r] = pre[r] + \
+                self.machine.link_between(r, dest).latency * 0.5
+            w.messages_sent += 1
+            w.bytes_sent += nbytes
+        for r in range(p):
+            w.clocks[r] = max(w.clocks[r], arrivals[r])
+
+    # -- replicated collectives ------------------------------------------- #
+    # Unbranched (rank-agnostic) runtime code can only ever contribute a
+    # replicated value, so these fold P identical contributions — exactly
+    # what the lockstep rendezvous would compute.
+
+    def barrier(self) -> None:
+        self.charge_barrier()
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        self.charge_bcast(datatypes.sizeof(obj))
+        return obj
+
+    def allreduce(self, obj: Any, op: Callable = SUM) -> Any:
+        acc = obj
+        for _ in range(self.size - 1):
+            acc = op(acc, obj)
+        self.charge_reduce(datatypes.sizeof(obj))
+        return acc
+
+    def allgather(self, obj: Any) -> list:
+        self.charge_allgather(datatypes.sizeof(obj))
+        return [obj] * self.size
+
+    # -- everything rank-dependent diverges -------------------------------- #
+
+    def _diverge(self, what: str):
+        raise FusionDivergence(f"{what} has no fused path")
+
+    def send(self, *args, **kwargs):
+        self._diverge("point-to-point send")
+
+    def recv(self, *args, **kwargs):
+        self._diverge("point-to-point recv")
+
+    def sendrecv(self, *args, **kwargs):
+        self._diverge("point-to-point sendrecv")
+
+    def isend(self, *args, **kwargs):
+        self._diverge("nonblocking send")
+
+    def irecv(self, *args, **kwargs):
+        self._diverge("nonblocking recv")
+
+    def reduce(self, *args, **kwargs):
+        self._diverge("rooted reduce")  # result differs per rank
+
+    def gather(self, *args, **kwargs):
+        self._diverge("rooted gather")
+
+    def scatter(self, *args, **kwargs):
+        self._diverge("scatter")  # each rank receives a different item
+
+    def alltoall(self, *args, **kwargs):
+        self._diverge("raw alltoall")  # each rank receives a different row
+
+    def scan(self, *args, **kwargs):
+        self._diverge("raw scan")  # prefix results differ per rank

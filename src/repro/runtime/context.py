@@ -19,14 +19,16 @@ communication implicitly via the collectives used.
 
 from __future__ import annotations
 
+import sys
 from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
-from ..errors import MatlabRuntimeError
+from ..errors import FusionDivergence, MatlabRuntimeError
 from ..interp import values as V
 from ..mpi.comm import Comm
-from .matrix import DMatrix, RValue
+from ..mpi.fused import PerRankScalar
+from .matrix import DMatrix, FusedDMatrix, RValue
 from .memory import MemoryTracker, install_tracker
 
 COLON = V.COLON
@@ -39,7 +41,10 @@ class RuntimeContext:
                  seed: int = 0, scheme: str = "block", provider=None,
                  cache_gathers: bool = False):
         self.comm = comm
-        self.rank = comm.rank
+        #: under the ``fused`` backend one pass carries all ranks; rank 0
+        #: stands in wherever a single identity is needed (I/O coordination)
+        self.fused = bool(getattr(comm, "is_fused", False))
+        self.rank = 0 if self.fused else comm.rank
         self.size = comm.size
         self.scheme = scheme
         self.provider = provider
@@ -55,6 +60,10 @@ class RuntimeContext:
         self.saved: dict[str, object] = {}
         self.globals: dict[str, object] = {}
         self.tic_time = 0.0
+        #: diagnostic: defensive local-block copies taken by set_element
+        #: (the aliased slow path; the emitted ``reuse=True`` stores write
+        #: in place when the descriptor is uniquely owned)
+        self.set_element_copies = 0
         # per-rank local-memory high-water mark (paper Section 7 claim)
         self.memory = MemoryTracker()
         install_tracker(self.memory)
@@ -90,6 +99,12 @@ class RuntimeContext:
             return float(value)
         if isinstance(value, complex):
             return value
+        if isinstance(value, PerRankScalar):
+            collapsed = value.collapse()
+            if isinstance(collapsed, PerRankScalar):
+                raise FusionDivergence(
+                    f"{what}: rank-varying scalar used as a replicated value")
+            return collapsed
         if isinstance(value, DMatrix):
             if value.numel != 1:
                 raise MatlabRuntimeError(f"{what}: expected a scalar")
@@ -118,6 +133,9 @@ class RuntimeContext:
         full = V.as_matrix(full)
         if full.size == 1:
             return V.simplify(full)
+        if self.fused:
+            return FusedDMatrix(full.shape[0], full.shape[1], full.dtype,
+                                full, self.size, self.scheme)
         return DMatrix.from_full(full, self.size, self.rank, self.scheme)
 
     def gather_full(self, value: RValue, charge: bool = True) -> np.ndarray:
@@ -131,6 +149,18 @@ class RuntimeContext:
         if self.cache_gathers and value.replica is not None:
             self.comm.overhead()
             return value.replica
+        if isinstance(value, FusedDMatrix):
+            # the full array is already in hand; charge exactly what the
+            # lockstep allgather would (max per-rank block, symmetric)
+            self.comm.overhead()
+            per = value.cols if value.layout == "rows" else 1
+            nbytes = max(value.map.counts()) * per * value.full.itemsize
+            self.comm.charge_allgather(nbytes)
+            full = np.array(value.full)  # callers may scribble on it
+            self.comm.compute(mem=value.numel)
+            if self.cache_gathers:
+                value.replica = full
+            return full
         self.comm.overhead()
         parts = self.comm.allgather(value.local)
         if not charge:
@@ -146,6 +176,8 @@ class RuntimeContext:
         """Replicated plain value (for oracles/tests): gathers if needed."""
         if isinstance(value, DMatrix):
             return V.simplify(self.gather_full(value))
+        if isinstance(value, PerRankScalar):
+            return value.values[0]  # what rank 0 holds under lockstep
         return value
 
     # ------------------------------------------------------------------ #
@@ -163,6 +195,13 @@ class RuntimeContext:
         if rows * cols <= 1:
             return V.simplify(np.asarray(full).reshape(rows, cols)
                               if rows * cols else np.zeros((rows, cols)))
+        if self.fused:
+            full = np.asarray(full)
+            mat = FusedDMatrix(rows, cols, full.dtype, full, self.size,
+                               self.scheme)
+            self.comm.overhead()
+            self.comm.compute_ranks(mem=mat.rank_counts())
+            return mat
         mat = DMatrix.from_full(np.asarray(full), self.size, self.rank,
                                 self.scheme)
         self.comm.overhead()
@@ -241,6 +280,11 @@ class RuntimeContext:
         full = np.vstack(blocks)
         if full.size <= 1:
             return V.simplify(full)
+        if self.fused:
+            mat = FusedDMatrix(full.shape[0], full.shape[1], full.dtype,
+                               full, self.size, self.scheme)
+            self.comm.compute_ranks(mem=mat.rank_counts())
+            return mat
         mat = DMatrix.from_full(full, self.size, self.rank, self.scheme)
         self.comm.compute(mem=mat.local_count())
         return mat
@@ -263,6 +307,15 @@ class RuntimeContext:
         jj = None if j is None else int(j)
         self._bounds_check(mat, i, jj)
         owner = mat.owner_of(i, jj)
+        if isinstance(mat, FusedDMatrix):
+            # read straight from the full array; the bcast charge is the
+            # owner's payload size, same as lockstep
+            r_, c_ = (i % mat.rows, i // mat.rows) if jj is None else (i, jj)
+            raw = mat.full[r_, c_]
+            payload = complex(raw) if np.iscomplexobj(mat.full) \
+                else float(raw)
+            self.comm.overhead()
+            return self.comm.bcast(payload, root=owner)
         if mat.owns(i, jj):
             idx = mat.local_element_index(i, jj)
             raw = mat.local[idx]
@@ -288,17 +341,29 @@ class RuntimeContext:
             return True  # replicated
         return mat.owns(int(i), None if j is None else int(j))
 
-    def set_element(self, mat: RValue, subs: Sequence, rhs: RValue) -> RValue:
+    def set_element(self, mat: RValue, subs: Sequence, rhs: RValue,
+                    reuse: bool = False) -> RValue:
         """Guarded scalar store ``a(i, j) = rhs`` (pass 5's conditional):
         only the owner writes; the updated matrix is returned.
+
+        ``reuse=True`` (emitted only for ``v = rt.set_element(v, ...)``
+        rebinds, where the old descriptor dies on return) allows an
+        in-place write when the descriptor and its storage are uniquely
+        owned — turning element-init loops from O(n²) copying into O(n).
+        Aliased descriptors still get the defensive copy (counted in
+        ``set_element_copies``).
 
         Falls back to the general indexed store for non-scalar subscripts
         or stores that grow the matrix.
         """
+        if isinstance(mat, FusedDMatrix):
+            return self._set_element_fused(mat, subs, rhs, reuse)
         scalar_subs = all(
             sub is not COLON and not isinstance(sub, DMatrix)
+            and not isinstance(sub, PerRankScalar)
             and V.numel(sub) == 1 for sub in subs)
         rhs_scalar = (not isinstance(rhs, DMatrix) and not isinstance(rhs, str)
+                      and not isinstance(rhs, PerRankScalar)
                       and V.numel(rhs) == 1)
         if (isinstance(mat, DMatrix) and scalar_subs and rhs_scalar
                 and self._in_bounds(mat, subs)):
@@ -309,14 +374,67 @@ class RuntimeContext:
             i = int(float(np.real(self.scalar(subs[0])))) - 1
             j = None if len(subs) == 1 else \
                 int(float(np.real(self.scalar(subs[1])))) - 1
-            new_local = local.copy()
+            # In-place fast path: safe only when nothing else can observe
+            # this descriptor or its buffer (refcounts: caller's variable
+            # + our argument binding + getrefcount's own temp = 3).
+            if (reuse and mat.replica is None and local.base is None
+                    and local.flags.owndata and local.flags.writeable
+                    and sys.getrefcount(mat) <= 3
+                    and sys.getrefcount(local) <= 3):
+                new_local = local
+            else:
+                self.set_element_copies += 1
+                new_local = local.copy()
             if mat.owns(i, j):
                 idx = mat.local_element_index(i, j)
                 new_local[idx] = value
             self.comm.overhead()
             self.comm.compute(mem=mat.local_count())
+            if new_local is local:
+                return mat
             return mat.like(new_local, dtype=mat.dtype)
         return self.index_assign(mat, subs, rhs)
+
+    def _set_element_fused(self, mat: FusedDMatrix, subs: Sequence,
+                           rhs: RValue, reuse: bool) -> RValue:
+        """Fused guarded store: one write into the full array; per-rank
+        virtual time charged exactly as P lockstep stores would be."""
+        if any(isinstance(sub, PerRankScalar) for sub in subs):
+            raise FusionDivergence("rank-varying subscript in a store")
+        scalar_subs = all(
+            sub is not COLON and not isinstance(sub, DMatrix)
+            and V.numel(sub) == 1 for sub in subs)
+        rhs_ok = (isinstance(rhs, PerRankScalar)
+                  or (not isinstance(rhs, DMatrix) and not isinstance(rhs, str)
+                      and V.numel(rhs) == 1))
+        if not (scalar_subs and rhs_ok and self._in_bounds(mat, subs)):
+            return self.index_assign(mat, subs, rhs)
+        i = int(float(np.real(self.scalar(subs[0])))) - 1
+        j = None if len(subs) == 1 else \
+            int(float(np.real(self.scalar(subs[1])))) - 1
+        owner = mat.owner_of(i, j)
+        value = rhs.values[owner] if isinstance(rhs, PerRankScalar) \
+            else self.scalar(rhs)
+        full = mat.full
+        if isinstance(value, complex) and not np.iscomplexobj(full):
+            return self.index_assign(mat, subs, rhs)
+        # mat's threshold is 4, not 3: set_element's own frame holds an
+        # extra reference while delegating here
+        if (reuse and mat.replica is None and full.base is None
+                and full.flags.owndata and full.flags.writeable
+                and sys.getrefcount(mat) <= 4
+                and sys.getrefcount(full) <= 3):
+            new_full = full
+        else:
+            self.set_element_copies += 1
+            new_full = full.copy()
+        r_, c_ = (i % mat.rows, i // mat.rows) if j is None else (i, j)
+        new_full[r_, c_] = value
+        self.comm.overhead()
+        self.comm.compute_ranks(mem=mat.rank_counts())
+        if new_full is full:
+            return mat
+        return mat.like_full(new_full, dtype=mat.dtype)
 
     def _in_bounds(self, mat: DMatrix, subs: Sequence) -> bool:
         try:
@@ -388,6 +506,23 @@ class RuntimeContext:
         dists = [op for op in operands if isinstance(op, DMatrix)]
         for op in operands:
             self._check_numeric(op, "elementwise operation")
+        per_rank = [op for op in operands if isinstance(op, PerRankScalar)]
+        if per_rank:
+            if dists:
+                raise FusionDivergence(
+                    "rank-varying scalar mixed into distributed arithmetic")
+            # pure-scalar chain over rank-varying values: apply per rank
+            # (charge-free, matching the lockstep scalar path)
+            outs = []
+            for r in range(self.size):
+                locals_ = [
+                    op.values[r] if isinstance(op, PerRankScalar)
+                    else complex(op) if isinstance(op, complex)
+                    else np.asarray(V.as_matrix(op)) for op in operands]
+                res = np.asarray(fn(*locals_)).reshape(-1)[0]
+                outs.append(complex(res) if np.iscomplexobj(res)
+                            else float(res))
+            return PerRankScalar(outs).collapse()
         if not dists:
             locals_ = [complex(op) if isinstance(op, complex) else
                        np.asarray(V.as_matrix(op)) for op in operands]
@@ -398,6 +533,21 @@ class RuntimeContext:
             if d.shape != shape:
                 raise MatlabRuntimeError(
                     f"matrix dimensions must agree ({shape} vs {d.shape})")
+        if isinstance(dists[0], FusedDMatrix):
+            # one full-array pass — bitwise identical to the per-block
+            # calls (elementwise ufuncs are position-independent)
+            args = [op.full if isinstance(op, DMatrix) else op
+                    for op in operands]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                out_full = np.asarray(fn(*args))
+            if out_full.dtype.kind not in ("f", "c"):
+                out_full = out_full.astype(float)
+            template = dists[0]
+            counts = template.rank_counts()
+            self.comm.overhead()
+            self.comm.compute_ranks(elems=[c * nops for c in counts],
+                                    mem=counts)
+            return template.like_full(out_full)
         args = []
         for op in operands:
             if isinstance(op, DMatrix):
@@ -420,6 +570,17 @@ class RuntimeContext:
     # ------------------------------------------------------------------ #
 
     def truthy(self, value: RValue) -> bool:
+        if isinstance(value, PerRankScalar):
+            # the branch outcome would differ across ranks: abort fusion
+            raise FusionDivergence("control flow on a rank-varying scalar")
+        if isinstance(value, FusedDMatrix):
+            from ..mpi.comm import LAND
+
+            ok = bool(np.all(value.full != 0)) if value.full.size else True
+            self.comm.overhead()
+            self.comm.compute_ranks(elems=value.rank_counts())
+            combined = self.comm.allreduce(float(ok), op=LAND)
+            return bool(combined) and value.numel > 0
         if isinstance(value, DMatrix):
             local_ok = bool(np.all(value.local != 0)) \
                 if value.local.size else True
@@ -524,9 +685,18 @@ class RuntimeContext:
                     self.to_interp_value(a)  # participate in the gather
 
     def tic(self) -> None:
-        self.tic_time = self.comm.time
+        if self.fused:
+            self.tic_time = self.comm.clock_snapshot()  # per-rank vector
+        else:
+            self.tic_time = self.comm.time
 
-    def toc(self) -> float:
+    def toc(self):
+        if self.fused:
+            now = self.comm.clock_snapshot()
+            base = self.tic_time if isinstance(self.tic_time, list) \
+                else [self.tic_time] * self.size
+            return PerRankScalar(
+                [n - b for n, b in zip(now, base)]).collapse()
         return float(self.comm.time - self.tic_time)
 
 

@@ -28,12 +28,28 @@ import numpy as np
 
 from ..errors import MatlabRuntimeError
 from ..interp import values as V
-from .matrix import DMatrix, RValue
+from .matrix import DMatrix, FusedDMatrix, RValue
 
 
 def _as_full(rt, value: RValue) -> np.ndarray:
     return rt.gather_full(value) if isinstance(value, DMatrix) \
         else V.as_matrix(value)
+
+
+# The fused paths below re-run each rank's *exact* local kernel on that
+# rank's block (contiguous views of the full array under the block
+# distribution, the same buffers BLAS saw under lockstep) and fold the
+# partials in rank order — the order ``Comm``'s combine uses — so both
+# the numerical results and the charged costs are bit-identical to the
+# lockstep backend.  What fusion removes is the P-fold re-execution of
+# the surrounding interpreter, not the arithmetic.
+
+
+def _fold(parts):
+    acc = parts[0]
+    for p in parts[1:]:
+        acc = acc + p
+    return acc
 
 
 def matmul(rt, a: RValue, b: RValue) -> RValue:
@@ -64,6 +80,14 @@ def matmul(rt, a: RValue, b: RValue) -> RValue:
 
 def dot(rt, a: RValue, b: RValue) -> RValue:
     """(1 x k) * (k x 1): local partial + allreduce (ML_dot)."""
+    if isinstance(a, FusedDMatrix) and isinstance(b, FusedDMatrix):
+        cplx = np.iscomplexobj(a.full) or np.iscomplexobj(b.full)
+        parts = [complex(np.dot(av, bv)) if cplx else float(np.dot(av, bv))
+                 for av, bv in zip(a.blocks(), b.blocks())]
+        rt.comm.overhead()
+        rt.comm.compute_ranks(flops=[2 * c for c in a.rank_counts()])
+        rt.comm.charge_reduce(16 if cplx else 8)
+        return _fold(parts)
     if isinstance(a, DMatrix) and isinstance(b, DMatrix):
         av, bv = a.local, b.local
         if av.shape != bv.shape:  # differing schemes can't happen (same rt)
@@ -86,6 +110,14 @@ def outer(rt, a: RValue, b: RValue) -> RValue:
     m = rt.shape_of(a)[0]
     n = rt.shape_of(b)[1]
     b_full = _as_full(rt, b).reshape(-1)
+    if isinstance(a, FusedDMatrix):
+        # elementwise products: one full outer == stacked per-rank outers
+        # (a's element blocks coincide with the result's row blocks)
+        out = np.outer(a.full.reshape(-1), b_full)
+        counts = [c * n for c in a.map.counts()]
+        rt.comm.overhead()
+        rt.comm.compute_ranks(flops=counts, mem=counts)
+        return FusedDMatrix(m, n, out.dtype, out, rt.size, rt.scheme)
     if isinstance(a, DMatrix):
         local = np.outer(a.local, b_full)
         rt.comm.overhead()
@@ -98,6 +130,20 @@ def outer(rt, a: RValue, b: RValue) -> RValue:
 
 def matvec(rt, a: RValue, x: RValue) -> RValue:
     """(m x k) * (k x 1): ML_matrix_vector_multiply."""
+    if isinstance(a, FusedDMatrix) and not a.is_vector:
+        x_full = _as_full(rt, x).reshape(-1)
+        parts = [blk @ x_full for blk in a.blocks()]
+        m = a.rows
+        if a.scheme == "block":
+            y = np.concatenate(parts)
+        else:
+            y = np.empty(m, dtype=np.result_type(*[p.dtype for p in parts]))
+            for r, part in enumerate(parts):
+                y[a.rank_global_indices(r)] = part
+        rt.comm.overhead()
+        rt.comm.compute_ranks(flops=[2 * c for c in a.rank_counts()])
+        return FusedDMatrix(m, 1, y.dtype, y.reshape(-1, 1),
+                            rt.size, rt.scheme)
     if isinstance(a, DMatrix) and not a.is_vector:
         x_full = _as_full(rt, x).reshape(-1)
         y_local = a.local @ x_full
@@ -122,6 +168,20 @@ def matvec(rt, a: RValue, x: RValue) -> RValue:
 
 def vecmat(rt, x: RValue, a: RValue) -> RValue:
     """(1 x k) * (k x n): partial products over row blocks + allreduce."""
+    if isinstance(a, FusedDMatrix) and not a.is_vector:
+        x_full = _as_full(rt, x).reshape(-1)
+        parts = []
+        for r in range(rt.size):
+            blk = a.block(r)
+            parts.append(x_full[a.rank_global_indices(r)] @ blk
+                         if blk.size else
+                         np.zeros(a.cols, dtype=a.full.dtype))
+        rt.comm.overhead()
+        rt.comm.compute_ranks(flops=[2 * c for c in a.rank_counts()])
+        rt.comm.charge_reduce(max(np.asarray(p).nbytes for p in parts))
+        result = np.asarray(_fold(parts)).reshape(1, -1)
+        return rt.distribute_full(result) if result.size > 1 \
+            else V.simplify(result)
     if isinstance(a, DMatrix) and not a.is_vector:
         x_full = _as_full(rt, x).reshape(-1)
         rows = a.global_row_indices()
@@ -141,6 +201,20 @@ def vecmat(rt, x: RValue, a: RValue) -> RValue:
 def _matmat(rt, a: RValue, b: RValue) -> RValue:
     """(m x k) * (k x n): allgather B, multiply local row block of A."""
     b_full = _as_full(rt, b)
+    if isinstance(a, FusedDMatrix) and not a.is_vector:
+        parts = [blk @ b_full for blk in a.blocks()]
+        n = b_full.shape[1]
+        if a.scheme == "block":
+            full = np.vstack(parts)
+        else:
+            full = np.empty((a.rows, n),
+                            dtype=np.result_type(*[p.dtype for p in parts]))
+            for r, part in enumerate(parts):
+                full[a.rank_global_indices(r), :] = part
+        rt.comm.overhead()
+        rt.comm.compute_ranks(
+            flops=[2 * c * n for c in a.rank_counts()])
+        return FusedDMatrix(a.rows, n, full.dtype, full, rt.size, rt.scheme)
     if isinstance(a, DMatrix) and not a.is_vector:
         local = a.local @ b_full
         rt.comm.overhead()
@@ -162,6 +236,13 @@ def transpose(rt, a: RValue, conjugate: bool = True) -> RValue:
         out = arr.conj().T if conjugate else arr.T
         return V.simplify(np.ascontiguousarray(out))
     if a.is_vector:
+        if isinstance(a, FusedDMatrix):
+            full = a.full.conj() if (conjugate and np.iscomplexobj(a.full)) \
+                else a.full
+            rt.comm.overhead()
+            return FusedDMatrix(a.cols, a.rows, full.dtype,
+                                np.ascontiguousarray(full.T).copy(),
+                                rt.size, rt.scheme)
         # both orientations share the element-block layout: free relabel
         local = a.local.conj() if (conjugate and np.iscomplexobj(a.local)) \
             else a.local
@@ -245,6 +326,17 @@ def matmul_t(rt, a: RValue, b: RValue, conjugate: bool = True) -> RValue:
     # column-vector case: a (k x 1), b (k x 1) -> scalar dot
     if a_shape[1] == 1 and b_shape[1] == 1 and isinstance(a, DMatrix) \
             and isinstance(b, DMatrix):
+        if isinstance(a, FusedDMatrix):
+            cplx = np.iscomplexobj(a.full) or np.iscomplexobj(b.full)
+            conj = conjugate and np.iscomplexobj(a.full)
+            parts = []
+            for av, bv in zip(a.blocks(), b.blocks()):
+                partial = np.dot(av.conj() if conj else av, bv)
+                parts.append(complex(partial) if cplx else float(partial))
+            rt.comm.overhead()
+            rt.comm.compute_ranks(flops=[2 * c for c in a.rank_counts()])
+            rt.comm.charge_reduce(16 if cplx else 8)
+            return _fold(parts)
         av = a.local.conj() if (conjugate and np.iscomplexobj(a.local)) \
             else a.local
         partial = np.dot(av, b.local)
@@ -264,6 +356,18 @@ def matmul_t(rt, a: RValue, b: RValue, conjugate: bool = True) -> RValue:
         gather_bytes = (a.rows * a.cols + b.rows * b.cols) * 8 // rt.size
         if result_bytes > 2 * gather_bytes and rt.size > 1:
             return matmul(rt, transpose(rt, a, conjugate), b)
+        if isinstance(a, FusedDMatrix):
+            conj = conjugate and np.iscomplexobj(a.full)
+            parts = []
+            for ab, bb in zip(a.blocks(), b.blocks()):
+                al = ab.conj().T if conj else ab.T
+                parts.append(np.ascontiguousarray(al @ bb))
+            rt.comm.overhead()
+            rt.comm.compute_ranks(
+                flops=[2 * rows_r * a.cols * b.cols
+                       for rows_r in a.map.counts()])
+            rt.comm.charge_reduce(max(p.nbytes for p in parts))
+            return rt.distribute_full(np.asarray(_fold(parts)))
         al = a.local.conj().T if conjugate and np.iscomplexobj(a.local) \
             else a.local.T
         partial = al @ b.local
@@ -276,6 +380,20 @@ def matmul_t(rt, a: RValue, b: RValue, conjugate: bool = True) -> RValue:
     # allreduce — no transpose materialization, no matrix gather
     if (isinstance(a, DMatrix) and not a.is_vector
             and isinstance(b, DMatrix) and b.cols == 1):
+        if isinstance(a, FusedDMatrix):
+            conj = conjugate and np.iscomplexobj(a.full)
+            parts = []
+            for ab, bb in zip(a.blocks(), b.blocks()):
+                al = ab.conj() if conj else ab
+                parts.append(np.asarray(al.T @ bb if al.size
+                                        else np.zeros(a.cols)))
+            rt.comm.overhead()
+            rt.comm.compute_ranks(flops=[2 * c for c in a.rank_counts()])
+            rt.comm.charge_reduce(max(p.nbytes for p in parts))
+            total = np.asarray(_fold(parts))
+            if total.size == 1:
+                return V.simplify(total.reshape(1, 1))
+            return rt.distribute_full(total.reshape(-1, 1))
         bl = b.local
         al = a.local.conj() if conjugate and np.iscomplexobj(a.local) \
             else a.local

@@ -20,7 +20,7 @@ from typing import Union
 
 import numpy as np
 
-from ..errors import DistributionError
+from ..errors import DistributionError, FusionDivergence
 from .distribution import BlockMap, CyclicMap, get_map
 from .memory import record_allocation
 
@@ -172,6 +172,112 @@ class DMatrix:
         return (f"DMatrix({self.rows}x{self.cols} {self.dtype}, "
                 f"rank {self.rank}/{self.nprocs}, "
                 f"local {self.local.shape})")
+
+
+class FusedDMatrix(DMatrix):
+    """All-ranks descriptor for the ``fused`` SPMD backend.
+
+    Where :class:`DMatrix` stores one rank's local block, this stores the
+    *full* array once — every rank's block is an implicit, deterministic
+    slice of it (``block(r)``), because the distribution maps are pure
+    functions of (extent, nprocs).  Runtime ops with a fused path apply
+    their kernel across the whole rank axis in one numpy call and charge
+    each rank's virtual clock individually.
+
+    Safety net: the per-rank accessors (``local``, ``local_count``,
+    ``owns``, ...) raise :class:`~repro.errors.FusionDivergence`, so any
+    op *without* a fused path aborts fusion and the executor transparently
+    re-runs the program under ``lockstep`` instead of silently computing
+    one rank's answer.
+    """
+
+    __slots__ = ("full",)
+
+    def __init__(self, rows: int, cols: int, dtype, full: np.ndarray,
+                 nprocs: int, scheme: str = "block"):
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self.dtype = np.dtype(dtype)
+        self.nprocs = nprocs
+        self.rank = 0
+        self.scheme = scheme
+        self.layout = "elems" if self.is_vector else "rows"
+        extent = self.rows * self.cols if self.layout == "elems" else self.rows
+        self.map = get_map(scheme, extent, nprocs)
+        full = np.asarray(full)
+        if full.shape != (self.rows, self.cols):
+            raise DistributionError(
+                f"full array shape {full.shape} != ({self.rows}, {self.cols})")
+        self.full = full
+        self.replica = None
+        # the tracker models ONE rank's footprint; rank 0 holds the
+        # largest block under both distribution schemes
+        per_row = self.cols if self.layout == "rows" else 1
+        record_allocation(
+            self, self.map.count(0) * per_row * self.dtype.itemsize)
+
+    # -- per-rank accessors: no single rank exists here ----------------- #
+
+    def _diverge(self, what: str):
+        raise FusionDivergence(
+            f"{what} has no fused path (rank-dependent state)")
+
+    @property
+    def local(self) -> np.ndarray:
+        self._diverge("per-rank local block access")
+
+    def local_count(self) -> int:
+        self._diverge("local_count")
+
+    def local_shape(self) -> tuple[int, ...]:
+        self._diverge("local_shape")
+
+    def global_row_indices(self) -> np.ndarray:
+        self._diverge("global_row_indices")
+
+    def owns(self, i: int, j: int | None = None) -> bool:
+        self._diverge("ownership test")
+
+    def like(self, local: np.ndarray, dtype=None) -> "DMatrix":
+        self._diverge("like() from a per-rank local")
+
+    # -- the rank axis, made explicit ----------------------------------- #
+
+    def block(self, r: int) -> np.ndarray:
+        """Rank ``r``'s local block (a view of the full array where the
+        layout allows, a fancy-index copy for cyclic maps)."""
+        if self.layout == "elems":
+            flat = self.full.reshape(-1, order="F")
+            if isinstance(self.map, CyclicMap):
+                return flat[self.map.global_indices(r)]
+            return flat[self.map.start(r):self.map.stop(r)]
+        if isinstance(self.map, CyclicMap):
+            return self.full[self.map.global_indices(r), :]
+        return self.full[self.map.start(r):self.map.stop(r), :]
+
+    def blocks(self):
+        return (self.block(r) for r in range(self.nprocs))
+
+    def rank_counts(self) -> tuple[int, ...]:
+        """Per-rank local element counts (what ``local_count`` would
+        return on each rank)."""
+        per = self.cols if self.layout == "rows" else 1
+        return tuple(c * per for c in self.map.counts())
+
+    def rank_global_indices(self, r: int) -> np.ndarray:
+        """Rank ``r``'s global row (or linear, for vectors) indices."""
+        if isinstance(self.map, CyclicMap):
+            return self.map.global_indices(r)
+        return np.arange(self.map.start(r), self.map.stop(r))
+
+    def like_full(self, full: np.ndarray, dtype=None) -> "FusedDMatrix":
+        """Same geometry, new full data (the fused analogue of like())."""
+        return FusedDMatrix(self.rows, self.cols, dtype or full.dtype, full,
+                            self.nprocs, self.scheme)
+
+    def __repr__(self) -> str:
+        return (f"FusedDMatrix({self.rows}x{self.cols} {self.dtype}, "
+                f"{self.nprocs} fused ranks)")
 
 
 def is_distributed(value) -> bool:

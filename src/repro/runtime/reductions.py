@@ -15,10 +15,32 @@ from ..errors import MatlabRuntimeError
 from ..interp import values as V
 from ..interp.values import np_trapz
 from ..mpi import comm as mpi_ops
-from .matrix import DMatrix, RValue
+from .matrix import DMatrix, FusedDMatrix, RValue
+
+# Fused paths mirror the lockstep backend kernel for kernel: the same
+# per-block partials (on the same contiguous buffers), folded with the
+# same combine op in rank order, and the same per-rank charges — so both
+# results and performance-model numbers are bit-identical.
+
+
+def _fold(parts, op):
+    acc = parts[0]
+    for p in parts[1:]:
+        acc = op(acc, p)
+    return acc
 
 
 def _vector_reduce(rt, mat: DMatrix, local_fn, combine_op, identity):
+    if isinstance(mat, FusedDMatrix):
+        cplx = np.iscomplexobj(mat.full)
+        parts = []
+        for blk in mat.blocks():
+            part = local_fn(blk) if blk.size else identity
+            parts.append(complex(part) if cplx else float(part))
+        rt.comm.overhead()
+        rt.comm.compute_ranks(elems=mat.rank_counts())
+        rt.comm.charge_reduce(16 if cplx else 8)
+        return _fold(parts, combine_op)
     part = local_fn(mat.local) if mat.local.size else identity
     rt.comm.overhead()
     rt.comm.compute(elems=mat.local_count())
@@ -31,6 +53,18 @@ def _vector_reduce(rt, mat: DMatrix, local_fn, combine_op, identity):
 
 def _column_reduce(rt, mat: DMatrix, local_fn, combine_op, identity):
     """Column-wise partials + allreduce; returns a distributed row vector."""
+    if isinstance(mat, FusedDMatrix):
+        cplx = np.iscomplexobj(mat.full)
+        parts = [np.asarray(local_fn(blk, axis=0)) if blk.size else
+                 np.full(mat.cols, identity,
+                         dtype=complex if cplx else float)
+                 for blk in mat.blocks()]
+        rt.comm.overhead()
+        rt.comm.compute_ranks(elems=mat.rank_counts())
+        rt.comm.charge_reduce(max(p.nbytes for p in parts))
+        result = np.asarray(_fold(parts, combine_op)).reshape(1, -1)
+        return rt.distribute_full(result) if result.size > 1 \
+            else V.simplify(result)
     if mat.local.size:
         part = local_fn(mat.local, axis=0)
     else:
@@ -97,6 +131,22 @@ def _row_reduce(rt, mat: DMatrix, local_fn):
     """Row-wise reduction of a row-distributed matrix: fully local — each
     rank reduces its own rows; the result is a column vector whose block
     layout coincides with the row blocks."""
+    if isinstance(mat, FusedDMatrix):
+        parts = [np.asarray(local_fn(blk, axis=1)) if blk.size else
+                 np.zeros(0, dtype=mat.full.dtype) for blk in mat.blocks()]
+        rt.comm.overhead()
+        rt.comm.compute_ranks(elems=mat.rank_counts())
+        if mat.scheme == "block":
+            y = np.concatenate(parts)
+        else:
+            y = np.empty(mat.rows,
+                         dtype=np.result_type(*[p.dtype for p in parts]))
+            for r, part in enumerate(parts):
+                y[mat.rank_global_indices(r)] = part
+        if mat.rows == 1:
+            return V.simplify(y.reshape(1, 1))
+        return FusedDMatrix(mat.rows, 1, y.dtype, y.reshape(-1, 1),
+                            rt.size, rt.scheme)
     if mat.local.size:
         part = np.asarray(local_fn(mat.local, axis=1))
     else:
@@ -201,18 +251,34 @@ def find(rt, value: RValue) -> RValue:
         out = idx.reshape(1, -1) if (arr.shape[0] == 1 and arr.shape[1] > 1) \
             else idx.reshape(-1, 1)
         return rt.distribute_full(out) if out.size > 1 else V.simplify(out)
-    if value.is_vector:
-        gidx = value.global_row_indices()
-        local_hits = gidx[np.flatnonzero(value.local != 0)] + 1.0
+    if isinstance(value, FusedDMatrix):
+        pieces = []
+        for r in range(rt.size):
+            blk = value.block(r)
+            gidx = value.rank_global_indices(r)
+            if value.is_vector:
+                hits = gidx[np.flatnonzero(blk != 0)] + 1.0
+            else:
+                li, lj = np.nonzero(blk)
+                hits = (lj * value.rows + gidx[li]) + 1.0
+            pieces.append(np.asarray(hits, dtype=float))
+        rt.comm.overhead()
+        rt.comm.compute_ranks(elems=value.rank_counts())
+        rt.comm.charge_allgather(max(p.nbytes for p in pieces))
+        all_hits = np.sort(np.concatenate(pieces)) if pieces else np.zeros(0)
     else:
-        # row-distributed: local (row, col) hits -> global linear indices
-        rows_g = value.global_row_indices()
-        li, lj = np.nonzero(value.local)
-        local_hits = (lj * value.rows + rows_g[li]) + 1.0
-    rt.comm.overhead()
-    rt.comm.compute(elems=value.local_count())
-    pieces = rt.comm.allgather(np.asarray(local_hits, dtype=float))
-    all_hits = np.sort(np.concatenate(pieces)) if pieces else np.zeros(0)
+        if value.is_vector:
+            gidx = value.global_row_indices()
+            local_hits = gidx[np.flatnonzero(value.local != 0)] + 1.0
+        else:
+            # row-distributed: local (row, col) hits -> global linear indices
+            rows_g = value.global_row_indices()
+            li, lj = np.nonzero(value.local)
+            local_hits = (lj * value.rows + rows_g[li]) + 1.0
+        rt.comm.overhead()
+        rt.comm.compute(elems=value.local_count())
+        pieces = rt.comm.allgather(np.asarray(local_hits, dtype=float))
+        all_hits = np.sort(np.concatenate(pieces)) if pieces else np.zeros(0)
     if all_hits.size == 0:
         return np.zeros((0, 0))
     out = all_hits.reshape(1, -1) \
@@ -242,16 +308,6 @@ def minmax_with_index(rt, name: str, value: RValue) -> tuple:
     if not value.is_vector:
         raise MatlabRuntimeError(
             f"[m, k] = {name}(..) is supported for vectors only")
-    local = value.local
-    globals_ = value.global_row_indices()
-    if local.size:
-        li = int(np.argmax(local) if pick_max else np.argmin(local))
-        candidate = (float(np.real(local[li])), int(globals_[li]))
-    else:
-        candidate = (-np.inf if pick_max else np.inf, -1)
-    rt.comm.overhead()
-    rt.comm.compute(elems=value.local_count())
-
     def pick(a, b):
         # MATLAB returns the *first* occurrence: ties prefer the smaller
         # global index (the allreduce combines in rank order, but be
@@ -261,6 +317,31 @@ def minmax_with_index(rt, name: str, value: RValue) -> tuple:
         if pick_max:
             return a if a[0] > b[0] else b
         return a if a[0] < b[0] else b
+
+    if isinstance(value, FusedDMatrix):
+        candidates = []
+        for r in range(rt.size):
+            blk = value.block(r)
+            gidx = value.rank_global_indices(r)
+            if blk.size:
+                li = int(np.argmax(blk) if pick_max else np.argmin(blk))
+                candidates.append((float(np.real(blk[li])), int(gidx[li])))
+            else:
+                candidates.append((-np.inf if pick_max else np.inf, -1))
+        rt.comm.overhead()
+        rt.comm.compute_ranks(elems=value.rank_counts())
+        rt.comm.charge_reduce(24)  # sizeof((float, int)) on every rank
+        best = _fold(candidates, pick)
+        return best[0], float(best[1] + 1)
+    local = value.local
+    globals_ = value.global_row_indices()
+    if local.size:
+        li = int(np.argmax(local) if pick_max else np.argmin(local))
+        candidate = (float(np.real(local[li])), int(globals_[li]))
+    else:
+        candidate = (-np.inf if pick_max else np.inf, -1)
+    rt.comm.overhead()
+    rt.comm.compute(elems=value.local_count())
 
     best = rt.comm.allreduce(candidate, op=pick)
     return best[0], float(best[1] + 1)
@@ -321,6 +402,34 @@ def trapz(rt, x: RValue | None, y: RValue) -> RValue:
     n = shape[0] * shape[1]
     if n < 2:
         return 0.0
+    if isinstance(y, FusedDMatrix):
+        cplx = np.iscomplexobj(y.full)
+        x_full = None if x is None else (
+            rt.gather_full(x) if isinstance(x, DMatrix)
+            else V.as_matrix(x)).reshape(-1)
+        parts = []
+        for r in range(rt.size):
+            blk = y.block(r)
+            gidx = y.rank_global_indices(r)
+            if x_full is None:
+                w = np.where((gidx == 0) | (gidx == n - 1), 0.5, 1.0)
+            else:
+                left = np.where(gidx > 0, x_full[np.maximum(gidx - 1, 0)],
+                                x_full[0])
+                right = np.where(gidx < n - 1,
+                                 x_full[np.minimum(gidx + 1, n - 1)],
+                                 x_full[n - 1])
+                w = (right - left) / 2.0
+            if cplx:
+                part = complex(np.sum(w * blk)) if blk.size else 0.0
+            else:
+                part = float(np.real(np.sum(w * blk))) if blk.size else 0.0
+            parts.append(part)
+        rt.comm.overhead()
+        rt.comm.compute_ranks(elems=[c * 2 for c in y.rank_counts()])
+        rt.comm.charge_reduce(
+            max(16 if isinstance(p, complex) else 8 for p in parts))
+        return _fold(parts, mpi_ops.SUM)
     if isinstance(y, DMatrix):
         gidx = y.global_row_indices()
         if x is None:
@@ -358,6 +467,18 @@ def trapz2(rt, z: RValue, dx: RValue = 1.0, dy: RValue = 1.0) -> float:
         return 0.0
     wc = np.ones(cols)
     wc[0] = wc[-1] = 0.5
+    if isinstance(z, FusedDMatrix) and not z.is_vector:
+        parts = []
+        for r in range(rt.size):
+            blk = z.block(r)
+            gidx = z.rank_global_indices(r)
+            wr = np.where((gidx == 0) | (gidx == rows - 1), 0.5, 1.0)
+            parts.append(float(wr @ (blk.real @ wc)) if blk.size else 0.0)
+        rt.comm.overhead()
+        rt.comm.compute_ranks(elems=[c * 3 for c in z.rank_counts()])
+        rt.comm.charge_reduce(8)
+        total = _fold(parts, mpi_ops.SUM)
+        return float(total * dxv * dyv)
     if isinstance(z, DMatrix) and not z.is_vector:
         gidx = z.global_row_indices()
         wr = np.where((gidx == 0) | (gidx == rows - 1), 0.5, 1.0)
@@ -384,6 +505,39 @@ def cumulative(rt, name: str, value: RValue) -> RValue:
         axis = 1 if arr.shape[0] == 1 else 0
         return V.simplify(np_fn(arr, axis=axis))
     if value.is_vector:
+        if isinstance(value, FusedDMatrix):
+            blocks = list(value.blocks())
+            scanned = [np_fn(blk) if blk.size else blk for blk in blocks]
+            totals = [float(np.real(s[-1])) if s.size else identity
+                      for s in scanned]
+            rt.comm.overhead()
+            rt.comm.compute_ranks(elems=value.rank_counts())
+            rt.comm.charge_scan(8)
+            # inclusive prefix per rank, folded in rank order like scan's
+            # combine closure
+            outs = []
+            inclusive = None
+            for r in range(rt.size):
+                inclusive = totals[r] if r == 0 else op(inclusive, totals[r])
+                if name == "cumsum":
+                    offset = inclusive - totals[r]
+                    out = scanned[r] + offset if scanned[r].size \
+                        else scanned[r]
+                else:
+                    offset = inclusive / totals[r] if totals[r] != 0 \
+                        else identity
+                    out = scanned[r] * offset if scanned[r].size \
+                        else scanned[r]
+                outs.append(np.asarray(out, dtype=value.dtype))
+            if value.scheme == "block":
+                flat = np.concatenate(outs) if outs else \
+                    np.zeros(0, dtype=value.dtype)
+            else:
+                flat = np.empty(value.numel, dtype=value.dtype)
+                for r, out in enumerate(outs):
+                    flat[value.rank_global_indices(r)] = out
+            full = flat.reshape((value.rows, value.cols), order="F")
+            return value.like_full(full, dtype=value.dtype)
         local = value.local
         scanned = np_fn(local) if local.size else local
         block_total = float(np.real(scanned[-1])) if local.size else identity

@@ -16,7 +16,10 @@ import numpy as np
 
 from ..errors import MatlabRuntimeError
 from ..interp import values as V
-from .matrix import DMatrix, RValue
+from .matrix import DMatrix, FusedDMatrix, RValue
+
+# Fused-backend paths: same per-block kernels and the same charges as
+# lockstep (see linalg.py); communication becomes in-process permutation.
 
 
 def reshape(rt, value: RValue, rows: RValue, cols: RValue) -> RValue:
@@ -69,6 +72,8 @@ def _circshift_vector(rt, vec: DMatrix, k: int) -> DMatrix:
     k = k % n
     if k == 0:
         rt.comm.overhead()
+        if isinstance(vec, FusedDMatrix):
+            return vec.like_full(vec.full.copy())
         return vec.like(vec.local.copy())
     min_count = vec.map.min_count()
     if 0 < k <= min_count and rt.size > 1:
@@ -76,6 +81,8 @@ def _circshift_vector(rt, vec: DMatrix, k: int) -> DMatrix:
     if 0 < (n - k) <= min_count and rt.size > 1:
         # a large positive shift is a small negative one
         return _circshift_ring(rt, vec, k - n)
+    if isinstance(vec, FusedDMatrix):
+        return _circshift_alltoall_fused(rt, vec, k)
     # Pack one (indices, values) array pair per destination rank — no
     # per-element Python: owners() is pure arithmetic, a stable argsort
     # groups elements by destination, and each piece is a contiguous
@@ -100,6 +107,25 @@ def _circshift_vector(rt, vec: DMatrix, k: int) -> DMatrix:
     return vec.like(new_local)
 
 
+def _circshift_alltoall_fused(rt, vec: FusedDMatrix, k: int) -> DMatrix:
+    """Fused large-shift path: the data movement is one ``np.roll``; the
+    alltoall is charged with the lockstep payload size (each source's
+    piece-to-rank-0, the row comm.alltoall prices)."""
+    n = vec.numel
+    per = 0
+    for r in range(rt.size):
+        gidx = vec.rank_global_indices(r)
+        owners = vec.map.owners((gidx + k) % n)
+        c0 = int(np.count_nonzero(owners == 0))
+        # (dest-indices int64, values) tuple, as the lockstep path packs
+        per = max(per, c0 * 8 + c0 * vec.full.itemsize + 8)
+    rt.comm.overhead()
+    rt.comm.compute_ranks(mem=vec.rank_counts())
+    rt.comm.charge_alltoall(per)
+    flat = np.roll(vec.full.reshape(-1, order="F"), k)
+    return vec.like_full(flat.reshape((vec.rows, vec.cols), order="F"))
+
+
 def _circshift_ring(rt, vec: DMatrix, k: int) -> DMatrix:
     """Shift by |k| <= min block: one sendrecv with the ring neighbour.
 
@@ -107,6 +133,17 @@ def _circshift_ring(rt, vec: DMatrix, k: int) -> DMatrix:
     rank's front (and symmetrically for k < 0) — two messages per step
     of a stencil instead of an alltoall.
     """
+    if isinstance(vec, FusedDMatrix):
+        # P simultaneous boundary sendrecvs, |k| elements each; movement
+        # itself is one np.roll of the full vector
+        nbytes = abs(k) * vec.full.itemsize
+        rt.comm.ring_exchange(nbytes, forward=k > 0)
+        rt.comm.overhead()
+        rt.comm.compute_ranks(mem=vec.rank_counts())
+        flat = np.roll(vec.full.reshape(-1, order="F"), k)
+        return vec.like_full(
+            np.asarray(flat.reshape((vec.rows, vec.cols), order="F"),
+                       dtype=vec.dtype))
     local = vec.local
     p = rt.size
     if k > 0:
@@ -144,6 +181,11 @@ def flip(rt, value: RValue, axis: int) -> RValue:
         return rt.distribute_full(np.ascontiguousarray(out))
     if axis == 1:
         # column flip is local for row-distributed matrices
+        if isinstance(value, FusedDMatrix):
+            rt.comm.overhead()
+            rt.comm.compute_ranks(mem=value.rank_counts())
+            return value.like_full(
+                np.ascontiguousarray(np.flip(value.full, axis=1)))
         rt.comm.overhead()
         rt.comm.compute(mem=value.local_count())
         return value.like(np.ascontiguousarray(np.flip(value.local, axis=1)))
@@ -163,6 +205,17 @@ def triangle(rt, value: RValue, k: RValue, lower: bool) -> RValue:
         out = np.tril(full, kv) if lower else np.triu(full, kv)
         return rt.distribute_full(out)
     # local masking using global row indices — no communication
+    if isinstance(value, FusedDMatrix):
+        gidx = np.arange(value.rows)
+        cols = np.arange(value.cols)
+        if lower:
+            mask = cols[None, :] <= gidx[:, None] + kv
+        else:
+            mask = cols[None, :] >= gidx[:, None] + kv
+        rt.comm.overhead()
+        rt.comm.compute_ranks(elems=value.rank_counts())
+        return value.like_full(np.where(mask, value.full, 0.0)
+                               .astype(value.full.dtype))
     gidx = value.global_row_indices()
     cols = np.arange(value.cols)
     if lower:
@@ -212,6 +265,8 @@ def sort(rt, value: RValue) -> RValue:
 
 def _sample_sort(rt, vec: DMatrix) -> DMatrix:
     """Classic sample sort returning the paper's block distribution."""
+    if isinstance(vec, FusedDMatrix):
+        return _sample_sort_fused(rt, vec)
     p = rt.size
     local = np.sort(np.real(vec.local).astype(float))
     n_local = local.size
@@ -246,6 +301,58 @@ def _sample_sort(rt, vec: DMatrix) -> DMatrix:
     full = np.empty(vec.numel)
     gathered = rt.comm.allgather(merged)
     for r, part in enumerate(gathered):
+        full[offsets[r]:offsets[r + 1]] = part
+    out = full.reshape((vec.rows, vec.cols), order="F")
+    result = rt.distribute_full(out)
+    assert isinstance(result, DMatrix)
+    return result
+
+
+def _sample_sort_fused(rt, vec: FusedDMatrix) -> DMatrix:
+    """All ranks' sample sort in one pass, charge-for-charge identical to
+    the lockstep pipeline above."""
+    p = rt.size
+
+    def sort_cost(n):
+        return n * max(int(np.log2(n)) if n > 1 else 1, 1)
+
+    locals_ = [np.sort(np.real(blk).astype(float)) for blk in vec.blocks()]
+    rt.comm.overhead()
+    rt.comm.compute_ranks(elems=[sort_cost(lv.size) for lv in locals_])
+    # splitter sampling (replicated arithmetic on every rank)
+    sample_lists = []
+    for lv in locals_:
+        if lv.size:
+            picks = np.linspace(0, lv.size - 1, p + 1)[1:-1]
+            sample_lists.append(lv[picks.astype(int)])
+        else:
+            sample_lists.append(np.zeros(0))
+    rt.comm.charge_allgather(max(s.nbytes for s in sample_lists))
+    all_samples = np.concatenate(sample_lists)
+    all_samples.sort()
+    if all_samples.size >= p - 1 and p > 1:
+        step = all_samples.size / p
+        splitters = all_samples[(np.arange(1, p) * step).astype(int)
+                                .clip(0, all_samples.size - 1)]
+    else:
+        splitters = all_samples[:p - 1]
+    # bucket exchange: each source's piece-to-rank-0 prices the alltoall
+    outgoing = []
+    for lv in locals_:
+        bucket_ids = np.searchsorted(splitters, lv, side="right") \
+            if splitters.size else np.zeros(lv.size, dtype=int)
+        outgoing.append([lv[bucket_ids == b] for b in range(p)])
+    rt.comm.charge_alltoall(max(row[0].nbytes for row in outgoing))
+    merged = [np.sort(np.concatenate([outgoing[src][dst]
+                                      for src in range(p)]))
+              for dst in range(p)]
+    rt.comm.compute_ranks(elems=[sort_cost(m.size) for m in merged])
+    # rebalance to the canonical block distribution
+    rt.comm.charge_allgather(8)  # the int block counts
+    offsets = np.cumsum([0] + [int(m.size) for m in merged])
+    full = np.empty(vec.numel)
+    rt.comm.charge_allgather(max(m.nbytes for m in merged))
+    for r, part in enumerate(merged):
         full[offsets[r]:offsets[r + 1]] = part
     out = full.reshape((vec.rows, vec.cols), order="F")
     result = rt.distribute_full(out)

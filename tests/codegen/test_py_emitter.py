@@ -46,7 +46,7 @@ class TestShape:
 
     def test_guarded_store(self):
         py = py_of("a = zeros(4, 4);\na(2, 2) = 5;")
-        assert "rt.set_element(v_a, [2.0, 2.0], 5.0)" in py
+        assert "rt.set_element(v_a, [2.0, 2.0], 5.0, reuse=True)" in py
 
     def test_loop_range(self):
         py = py_of("for i = 1:10\n x = i;\nend")

@@ -1,21 +1,28 @@
-"""Differential testing: the lockstep and threads backends must be
-observationally identical.
+"""Differential testing: the lockstep, threads, and fused backends must
+be observationally identical.
 
-The scheduler changes *when* carrier threads run, never *what* the
-simulated machine does — virtual clocks, message/byte counts, and
-collective tallies are all functions of the program alone.  Randomized
-SPMD programs (hypothesis) run on both backends and every observable
-must match bit-for-bit.
+The scheduler changes *when* carrier threads run (or whether ranks run
+at all, for fused), never *what* the simulated machine does — virtual
+clocks, message/byte counts, and collective tallies are all functions of
+the program alone.  Randomized SPMD programs (hypothesis) run on every
+backend and every observable must match bit-for-bit.
 
 The generated programs are deterministic by construction: point-to-point
 uses explicit (source, tag) pairs (no multi-sender ANY_SOURCE races) and
-collective contributions have equal wire sizes on every rank (cost
-formulas read ``sizeof`` on whichever rank runs the combine).
+collective cost formulas charge the symmetric ``max`` of the per-slot
+``sizeof`` contributions, so no rank's wire size is privileged.
+
+The raw-comm programs below all read ``comm.rank``, so under
+``backend="fused"`` they exercise the FusionDivergence → lockstep
+fallback: the run must still be observationally identical (it *is* a
+lockstep run, transparently).  Compiled MATLAB programs are rank-
+agnostic at the source level and execute genuinely fused.
 """
 
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
+from repro.compiler import compile_source
 from repro.mpi import MEIKO_CS2, run_spmd
 
 # -- program generator --------------------------------------------------- #
@@ -104,7 +111,66 @@ def test_backends_observationally_identical(program):
     prog = _make_program(ops)
     lockstep = run_spmd(nprocs, MEIKO_CS2, prog, backend="lockstep")
     threads = run_spmd(nprocs, MEIKO_CS2, prog, backend="threads")
+    fused = run_spmd(nprocs, MEIKO_CS2, prog, backend="fused")
     assert _observables(lockstep) == _observables(threads)
+    # prog reads comm.rank, so fused falls back to lockstep — the result
+    # must be indistinguishable from a lockstep run
+    assert fused.backend == "lockstep"
+    assert _observables(lockstep) == _observables(fused)
+
+
+# -- compiled-program differential: fused runs for real ------------------ #
+
+_STMT_POOL = [
+    "a = a + rand(n, n);",
+    "a = a * a';",
+    "a = tril(a) + triu(a);",
+    "v = a * v;",
+    "v = v / (norm(v) + 1);",
+    "v = cumsum(v);",
+    "v = sort(v);",
+    "v = circshift(v, 2);",
+    "s = sum(v); v = v + s / n;",
+    "s = max(v) - min(v); a = a + s;",
+    "v = fliplr(v')';",
+    "for i = 1:3\n  v(i) = v(i) + i;\nend",
+]
+
+
+@st.composite
+def matlab_programs(draw):
+    nprocs = draw(st.integers(min_value=1, max_value=4))
+    n = draw(st.sampled_from([5, 8, 13]))
+    stmts = draw(st.lists(st.sampled_from(_STMT_POOL),
+                          min_size=1, max_size=5))
+    src = "\n".join([f"n = {n};", "a = rand(n, n);", "v = rand(n, 1);"]
+                    + stmts + ["total = sum(sum(a)) + sum(v);"])
+    return nprocs, src
+
+
+def _run_observables(result):
+    spmd = result.spmd
+    return result.output, _observables(spmd), {
+        k: np.asarray(val).tolist() for k, val in result.workspace.items()}
+
+
+@settings(max_examples=20, deadline=None)
+@given(matlab_programs())
+def test_compiled_programs_fused_equals_lockstep(program):
+    """Fused execution of compiled MATLAB is bit-identical to lockstep:
+    same workspace, same per-rank virtual clocks, same message/byte/
+    collective accounting."""
+    nprocs, src = program
+    prog = compile_source(src)
+    lockstep = prog.run(nprocs=nprocs, backend="lockstep")
+    fused = prog.run(nprocs=nprocs, backend="fused")
+    assert fused.spmd.backend == "fused"
+    out_l, obs_l, ws_l = _run_observables(lockstep)
+    out_f, obs_f, ws_f = _run_observables(fused)
+    obs_l.pop("results"), obs_f.pop("results")
+    assert out_l == out_f
+    assert obs_l == obs_f
+    assert ws_l == ws_f
 
 
 def test_backends_identical_on_mixed_fixed_program():

@@ -38,8 +38,17 @@ class TestBackendSelection:
         for backend in BACKENDS:
             res = run_spmd(3, MEIKO_CS2, lambda comm: comm.rank,
                            backend=backend)
-            assert res.backend == backend
+            # reading comm.rank is rank-dependent, so the fused backend
+            # transparently falls back to lockstep and records that
+            expected = "lockstep" if backend == "fused" else backend
+            assert res.backend == expected
             assert res.results == [0, 1, 2]
+
+    def test_fused_records_backend_for_rank_agnostic_program(self):
+        res = run_spmd(3, MEIKO_CS2,
+                       lambda comm: comm.allreduce(1.0), backend="fused")
+        assert res.backend == "fused"
+        assert res.results == [3.0, 3.0, 3.0]
 
 
 class TestDeterminism:
