@@ -95,13 +95,18 @@ class CompiledProgram:
     def run(self, nprocs: int = 1, machine: MachineModel | None = None,
             seed: int = 0, scheme: str = "block",
             cache_gathers: bool = False,
-            backend: str | None = None) -> RunResult:
+            backend: str | None = None,
+            fault_plan=None,
+            watchdog: float | None = None) -> RunResult:
         """Execute on ``nprocs`` simulated ranks of ``machine``.
 
         ``backend`` picks the SPMD execution backend (``"lockstep"``,
         ``"threads"``, or ``"fused"``); ``None`` defers to
         ``REPRO_SPMD_BACKEND`` / the lockstep default — see
-        :func:`repro.mpi.executor.run_spmd`.
+        :func:`repro.mpi.executor.run_spmd`.  ``fault_plan`` and
+        ``watchdog`` pass straight through to ``run_spmd`` (chaos
+        injection and the host-wall-clock safety net; see
+        docs/RESILIENCE.md).
         """
         from .mpi.machine import MEIKO_CS2
 
@@ -116,17 +121,23 @@ class CompiledProgram:
             rt = RuntimeContext(comm, out=output.append, seed=seed,
                                 scheme=scheme, provider=provider,
                                 cache_gathers=cache_gathers)
-            workspace = main(rt)
-            peaks[rt.rank] = rt.peak_local_bytes
-            clocks = comm.clock_snapshot()
-            # Replicate the final workspace (gathers run on every rank, in
-            # the same deterministic order) so callers see plain values.
-            # This is *instrumentation* — roll its cost back off the
-            # virtual clock so `elapsed` measures only the program.
-            replicated = {name: rt.to_interp_value(value)
-                          for name, value in workspace.items()}
-            comm.clock_restore(clocks)
-            return replicated
+            try:
+                workspace = main(rt)
+                peaks[rt.rank] = rt.peak_local_bytes
+                clocks = comm.clock_snapshot()
+                # Replicate the final workspace (gathers run on every
+                # rank, in the same deterministic order) so callers see
+                # plain values.  This is *instrumentation* — roll its
+                # cost back off the virtual clock so `elapsed` measures
+                # only the program.
+                replicated = {name: rt.to_interp_value(value)
+                              for name, value in workspace.items()}
+                comm.clock_restore(clocks)
+                return replicated
+            finally:
+                # crucial for the nprocs==1 / fused inline paths, which
+                # run on the caller's thread: don't leak the tracker
+                rt.close()
 
         def discard_partial_fused():
             # a diverged fused pass may have produced output/peaks already;
@@ -135,7 +146,8 @@ class CompiledProgram:
             peaks.clear()
 
         spmd = run_spmd(nprocs, machine, rank_main, backend=backend,
-                        on_fused_fallback=discard_partial_fused)
+                        on_fused_fallback=discard_partial_fused,
+                        fault_plan=fault_plan, watchdog=watchdog)
         if spmd.backend == "fused":
             # one pass stood in for all ranks: its (rank-0-modeled) peak
             # applies to every rank's local share estimate

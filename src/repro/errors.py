@@ -81,6 +81,40 @@ class MpiError(OtterError):
     """Raised by the simulated MPI layer on protocol misuse."""
 
 
+class MpiTimeoutError(MpiError):
+    """A simulated rank waited longer than a configured timeout.
+
+    Raised when a recv/collective exceeds the virtual-clock patience of
+    an active :class:`~repro.mpi.faults.FaultPlan`, or (as the
+    :class:`SpmdWatchdogError` subclass) when the host-wall-clock
+    watchdog expires.  ``wait_graph`` carries the blocked-rank report —
+    the same structure the lockstep scheduler builds for deadlocks — so
+    a timed-out run always says *who* was waiting on *what*.
+    """
+
+    def __init__(self, message: str, wait_graph: str | None = None):
+        if wait_graph:
+            message = f"{message}\n{wait_graph}"
+        super().__init__(message)
+        self.wait_graph = wait_graph
+
+
+class SpmdWatchdogError(MpiTimeoutError):
+    """The host-wall-clock watchdog expired: the SPMD run was aborted
+    instead of hanging (the free-running threads backend cannot detect
+    deadlock on its own)."""
+
+
+class MpiCorruptionError(MpiError):
+    """A received message failed its integrity check (the payload was
+    corrupted in transit — only injectable via a fault plan)."""
+
+
+class RankCrashedError(MpiError):
+    """A fault plan killed this rank mid-program; propagates through the
+    normal abort path so peers unwind instead of deadlocking."""
+
+
 class FusionDivergence(OtterError):
     """Raised under the ``fused`` SPMD backend when a program's control
     flow (or an operation without a fused path) would depend on the

@@ -29,14 +29,26 @@ from .datatypes import (
     LONG,
     sizeof,
 )
-from ..errors import FusionDivergence, MpiError
+from ..errors import (
+    FusionDivergence,
+    MpiCorruptionError,
+    MpiError,
+    MpiTimeoutError,
+    RankCrashedError,
+    SpmdWatchdogError,
+)
 from .executor import (
     BACKEND_ENV_VAR,
     BACKENDS,
+    FAULT_PLAN_ENV_VAR,
     SpmdResult,
+    WATCHDOG_ENV_VAR,
     resolve_backend,
+    resolve_fault_plan,
+    resolve_watchdog,
     run_spmd,
 )
+from .faults import FaultPlan, FaultRule, load_plan
 from .fused import FusedComm, PerRankScalar
 from .machine import (
     CpuModel,
@@ -58,6 +70,10 @@ __all__ = [
     "SpmdResult", "run_spmd", "BACKENDS", "BACKEND_ENV_VAR",
     "resolve_backend", "LockstepScheduler", "DeadlockError", "MpiError",
     "FusedComm", "PerRankScalar", "FusionDivergence",
+    "FaultPlan", "FaultRule", "load_plan", "resolve_fault_plan",
+    "resolve_watchdog", "FAULT_PLAN_ENV_VAR", "WATCHDOG_ENV_VAR",
+    "MpiTimeoutError", "SpmdWatchdogError", "MpiCorruptionError",
+    "RankCrashedError",
     "CpuModel", "Link", "MachineModel", "MACHINES",
     "MEIKO_CS2", "SUN_ENTERPRISE", "SPARC20_CLUSTER", "get_machine",
 ]

@@ -34,8 +34,9 @@ from typing import Any, Callable, Optional
 
 import numpy as np
 
-from ..errors import MpiError
+from ..errors import MpiCorruptionError, MpiError, MpiTimeoutError
 from .datatypes import sizeof
+from .faults import FaultState, payload_checksum
 from .machine import MachineModel
 
 ANY_SOURCE = -1
@@ -110,7 +111,8 @@ class World:
     mutated without taking ``cond``.
     """
 
-    def __init__(self, nprocs: int, machine: MachineModel, scheduler=None):
+    def __init__(self, nprocs: int, machine: MachineModel, scheduler=None,
+                 fault_plan=None):
         if nprocs < 1:
             raise MpiError("need at least one process")
         if nprocs > machine.max_cpus:
@@ -120,20 +122,31 @@ class World:
         self.nprocs = nprocs
         self.machine = machine
         self.scheduler = scheduler
+        # chaos: a seeded FaultPlan makes every send/recv/sync consult
+        # FaultState; a plan with no injectable rules costs nothing
+        self.faults: Optional[FaultState] = None
+        self.virtual_timeout: Optional[float] = None
+        if fault_plan is not None:
+            self.virtual_timeout = fault_plan.virtual_timeout
+            if fault_plan.has_faults:
+                self.faults = FaultState(fault_plan, nprocs)
         self.clocks = [0.0] * nprocs
         self.cond = threading.Condition()
-        # (src, dst, tag) -> deque of (payload, arrival_time, nbytes);
-        # the wire size is computed once at send time and carried with
-        # the message so receive-side accounting never re-walks payloads
+        # (src, dst, tag) -> deque of (payload, arrival_time, nbytes,
+        # checksum); the wire size is computed once at send time and
+        # carried with the message so receive-side accounting never
+        # re-walks payloads; checksum is None unless faults are active
         self.mailboxes: dict[tuple[int, int, int], deque] = {}
-        # lockstep: rank -> (source, tag) pattern it is parked on, so a
-        # matching send can unpark exactly that rank
+        # rank -> (source, tag) pattern it is blocked on: lockstep uses
+        # it to unpark exactly the matching rank, the watchdog to report
+        # who was waiting on what when a run had to be aborted
         self._recv_waiting: dict[int, tuple[int, int]] = {}
         self.aborted: Optional[BaseException] = None
         # collective rendezvous state
         self._slots: list[Any] = [None] * nprocs
         self._coll_result: Any = None
         self._coll_time: float = 0.0
+        self._coll_tmax: float = 0.0  # rendezvous instant, pre-cost
         self._arrived = 0
         self._departed = 0
         self._generation = 0
@@ -161,6 +174,29 @@ class World:
         increment is race-free everywhere it is used."""
         self.collective_counts[op] = self.collective_counts.get(op, 0) + 1
 
+    def wait_snapshot(self) -> str:
+        """Best-effort report of who is blocked on what (the watchdog's
+        post-mortem; under lockstep the scheduler's wait graph is the
+        authoritative version)."""
+        lines = []
+        for rank in sorted(self._recv_waiting):
+            source, tag = self._recv_waiting[rank]
+            lines.append(f"rank {rank}: blocked in "
+                         f"recv(source={source}, tag={tag})")
+        if self._arrived:
+            lines.append(f"collective rendezvous incomplete: "
+                         f"{self._arrived}/{self.nprocs} arrived")
+        return "\n  ".join(lines)
+
+    def _check_virtual_timeout(self, rank: int, waited: float,
+                               what: str) -> None:
+        """Raise if a rank's simulated wait exceeded the plan's patience."""
+        timeout = self.virtual_timeout
+        if timeout is not None and waited > timeout:
+            raise MpiTimeoutError(
+                f"rank {rank} timed out in {what}: waited {waited:.9g}s "
+                f"virtual (timeout {timeout:.9g}s)")
+
     # ------------------------------------------------------------------ #
     # rendezvous: every rank calls sync(contribute, combine);
     # `combine(slots, tmax)` runs on exactly one rank (the last to
@@ -177,6 +213,7 @@ class World:
         result, tnew = combine(list(self._slots), tmax)
         self._coll_result = result
         self._coll_time = tnew
+        self._coll_tmax = tmax
         self._arrived = 0
         self._generation += 1
         self.collectives += 1
@@ -186,6 +223,9 @@ class World:
     def sync(self, rank: int, contribution: Any,
              combine: Callable[[list, float], tuple[Any, float]],
              op: Optional[str] = None):
+        if self.faults is not None:
+            self.faults.check_crash(rank, op or "collective",
+                                    self.clocks[rank])
         if self.scheduler is not None:
             return self._sync_lockstep(rank, contribution, combine, op)
         return self._sync_threads(rank, contribution, combine, op)
@@ -215,6 +255,8 @@ class World:
             for peer in range(self.nprocs):
                 if peer != rank:
                     self.scheduler.unblock(peer)
+        self._check_virtual_timeout(
+            rank, self._coll_tmax - self.clocks[rank], op or "collective")
         self.clocks[rank] = max(self.clocks[rank], self._coll_time)
         return self._coll_result
 
@@ -234,6 +276,9 @@ class World:
                     self.cond.wait(_WAIT_TIMEOUT)
                 self._check_abort()
             result = self._coll_result
+            self._check_virtual_timeout(
+                rank, self._coll_tmax - self.clocks[rank],
+                op or "collective")
             self.clocks[rank] = max(self.clocks[rank], self._coll_time)
             self._departed += 1
             if self._departed == self.nprocs:
@@ -329,11 +374,31 @@ class Comm:
 
     # -- point-to-point -------------------------------------------------- #
 
-    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+    def _check_dest(self, dest: int) -> None:
         if not (0 <= dest < self.size):
             raise MpiError(f"invalid destination rank {dest}")
-        if dest == self.rank:
-            raise MpiError("send to self would deadlock; use sendrecv")
+
+    def _check_source(self, source: int) -> None:
+        if source != ANY_SOURCE and not (0 <= source < self.size):
+            raise MpiError(
+                f"invalid source rank {source} (use ANY_SOURCE for a "
+                f"wildcard)")
+
+    def _check_tag(self, tag: int, wildcard_ok: bool = False) -> None:
+        """Reject negative tags: they collide with the ``ANY_TAG`` /
+        ``ANY_SOURCE`` sentinels (-1) and would match the wrong
+        message."""
+        if wildcard_ok and tag == ANY_TAG:
+            return
+        if not isinstance(tag, (int, np.integer)) or isinstance(tag, bool) \
+                or tag < 0:
+            raise MpiError(
+                f"invalid tag {tag!r}: tags must be nonnegative integers "
+                f"(negative values collide with the ANY_TAG sentinel)")
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self._check_dest(dest)
+        self._check_tag(tag)
         nbytes = sizeof(obj)
         world = self.world
         scheduler = world.scheduler
@@ -344,8 +409,11 @@ class Comm:
                 world.cond.notify_all()
             return
         world._check_abort()
-        self._post_message(obj, dest, tag, nbytes)
+        delivered = self._post_message(obj, dest, tag, nbytes)
         # unpark the receiver iff it is parked on a matching pattern
+        # (a send to self never finds the sender parked)
+        if not delivered:
+            return
         waiting = world._recv_waiting.get(dest)
         if waiting is not None:
             wsource, wtag = waiting
@@ -354,23 +422,55 @@ class Comm:
                 scheduler.unblock(dest)
 
     def _post_message(self, obj: Any, dest: int, tag: int,
-                      nbytes: int) -> None:
-        """Charge the sender, enqueue the message, update statistics."""
+                      nbytes: int) -> bool:
+        """Charge the sender, enqueue the message, update statistics.
+
+        Returns False when a fault rule dropped the message (the sender
+        is charged either way — it cannot tell the wire lost it)."""
         world = self.world
+        faults = world.faults
+        checksum = None
+        copies = 1
+        extra_delay = 0.0
+        delivered = True
+        if faults is not None:
+            faults.check_crash(self.rank, "send", world.clocks[self.rank])
+            fate = faults.on_message(self.rank, dest, tag, nbytes,
+                                     world.clocks[self.rank], obj)
+            obj = fate.payload
+            checksum = fate.checksum
+            copies = fate.copies
+            extra_delay = fate.extra_delay
+            delivered = fate.deliver
         t_send = world.clocks[self.rank]
-        arrival = t_send + self.machine.p2p_time(self.rank, dest, nbytes)
+        arrival = t_send + self.machine.p2p_time(self.rank, dest, nbytes) \
+            + extra_delay
         # buffered send: sender is occupied for the injection overhead
         world.clocks[self.rank] = t_send + \
             self.machine.link_between(self.rank, dest).latency * 0.5
-        key = (self.rank, dest, tag)
-        world.mailboxes.setdefault(key, deque()).append(
-            (obj, arrival, nbytes))
         world.messages_sent += 1
         world.bytes_sent += nbytes
+        if not delivered:
+            return False
+        key = (self.rank, dest, tag)
+        queue = world.mailboxes.setdefault(key, deque())
+        for _ in range(copies):
+            queue.append((obj, arrival, nbytes, checksum))
+        if copies > 1:
+            # the duplicate crossed the wire too: accounted explicitly,
+            # never silently
+            world.messages_sent += copies - 1
+            world.bytes_sent += nbytes * (copies - 1)
+        return True
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
              status: Optional[Status] = None) -> Any:
+        self._check_source(source)
+        self._check_tag(tag, wildcard_ok=True)
         world = self.world
+        if world.faults is not None:
+            world.faults.check_crash(self.rank, "recv",
+                                     world.clocks[self.rank])
         scheduler = world.scheduler
         if scheduler is None:
             with world.cond:
@@ -378,7 +478,10 @@ class Comm:
                     world._check_abort()
                     key = self._find_message(source, tag)
                     if key is not None:
+                        world._recv_waiting.pop(self.rank, None)
                         return self._take_message(key, status)
+                    # record the wait pattern for watchdog post-mortems
+                    world._recv_waiting[self.rank] = (source, tag)
                     world.cond.wait(_WAIT_TIMEOUT)
         while True:
             world._check_abort()
@@ -391,12 +494,22 @@ class Comm:
 
     def _take_message(self, key: tuple[int, int, int],
                       status: Optional[Status]) -> Any:
-        """Dequeue a matched message and charge the receive clock."""
+        """Dequeue a matched message, verify integrity, and charge the
+        receive clock (raising if the virtual wait exceeded the plan's
+        timeout — the rank would have given up before the data came)."""
         world = self.world
-        obj, arrival, nbytes = world.mailboxes[key].popleft()
+        obj, arrival, nbytes, checksum = world.mailboxes[key].popleft()
         if not world.mailboxes[key]:
             del world.mailboxes[key]
         me = world.clocks[self.rank]
+        world._check_virtual_timeout(
+            self.rank, arrival - me,
+            f"recv(source={key[0]}, tag={key[2]})")
+        if checksum is not None and payload_checksum(obj) != checksum:
+            raise MpiCorruptionError(
+                f"message from rank {key[0]} to rank {key[1]} "
+                f"(tag {key[2]}, {nbytes} B) failed its integrity check: "
+                f"payload corrupted in transit")
         world.clocks[self.rank] = max(me, arrival)
         if status is not None:
             status.source, status.tag = key[0], key[2]
@@ -443,6 +556,10 @@ class Comm:
 
     def sendrecv(self, obj: Any, dest: int, sendtag: int = 0,
                  source: int = ANY_SOURCE, recvtag: int = ANY_TAG) -> Any:
+        self._check_dest(dest)
+        self._check_tag(sendtag)
+        self._check_source(source)
+        self._check_tag(recvtag, wildcard_ok=True)
         if dest == self.rank and (source in (ANY_SOURCE, self.rank)):
             return obj  # self-exchange: no wire traffic
         request = self.isend(obj, dest, sendtag)
@@ -455,6 +572,9 @@ class Comm:
         return Request.completed()
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        # validate at post time (like MPI_Irecv), not first wait()/test()
+        self._check_source(source)
+        self._check_tag(tag, wildcard_ok=True)
         return Request(wait_fn=lambda: self.recv(source, tag),
                        poll_fn=lambda: self._try_recv(source, tag))
 

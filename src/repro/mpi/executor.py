@@ -36,11 +36,14 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-from ..errors import FusionDivergence, MpiError
+from ..errors import FusionDivergence, MpiError, MpiTimeoutError, \
+    SpmdWatchdogError
 from .comm import Comm, World, _Abort
+from .faults import FaultPlan, load_plan
 from .fused import FusedComm
 from .machine import MachineModel
 from .scheduler import LockstepScheduler
@@ -50,6 +53,16 @@ BACKENDS = ("lockstep", "threads", "fused")
 #: environment override for the default backend (used by the CI matrix
 #: to run the whole suite under each backend)
 BACKEND_ENV_VAR = "REPRO_SPMD_BACKEND"
+
+#: environment default for the chaos fault plan (inline spec or a path)
+FAULT_PLAN_ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: environment default for the host-wall-clock watchdog (seconds)
+WATCHDOG_ENV_VAR = "REPRO_WATCHDOG_SECONDS"
+
+#: after an abort, give wedged carrier threads this long to unwind
+#: before abandoning them (they are daemons; the process stays healthy)
+_TEARDOWN_GRACE = 5.0
 
 
 def resolve_backend(backend: Optional[str] = None) -> str:
@@ -61,6 +74,34 @@ def resolve_backend(backend: Optional[str] = None) -> str:
             f"unknown SPMD backend {backend!r} (expected one of "
             f"{', '.join(BACKENDS)})")
     return backend
+
+
+def resolve_fault_plan(fault_plan=None) -> Optional[FaultPlan]:
+    """Pick the chaos plan: explicit argument > $REPRO_FAULT_PLAN > none.
+
+    Accepts a :class:`FaultPlan`, an inline spec string, or a path."""
+    if fault_plan is not None:
+        return load_plan(fault_plan)
+    return load_plan(os.environ.get(FAULT_PLAN_ENV_VAR))
+
+
+def resolve_watchdog(watchdog: Optional[float] = None) -> Optional[float]:
+    """Pick the host-wall-clock watchdog: argument > environment > off."""
+    if watchdog is not None:
+        value = float(watchdog)
+    else:
+        raw = os.environ.get(WATCHDOG_ENV_VAR)
+        if not raw:
+            return None
+        try:
+            value = float(raw)
+        except ValueError:
+            raise MpiError(
+                f"{WATCHDOG_ENV_VAR} must be a number of seconds "
+                f"(got {raw!r})") from None
+    if value <= 0:
+        raise MpiError(f"watchdog must be positive (got {value:g}s)")
+    return value
 
 
 @dataclass
@@ -76,6 +117,9 @@ class SpmdResult:
     collectives: int = 0
     collective_counts: dict[str, int] = field(default_factory=dict)
     backend: str = "lockstep"
+    #: deterministic log of injected chaos events (rank order), empty
+    #: when no fault plan was active
+    fault_events: list[str] = field(default_factory=list)
 
     @property
     def elapsed(self) -> float:
@@ -87,23 +131,41 @@ def run_spmd(nprocs: int, machine: MachineModel,
              fn: Callable[..., Any], *args: Any,
              backend: Optional[str] = None,
              on_fused_fallback: Optional[Callable[[], Any]] = None,
+             fault_plan=None,
+             watchdog: Optional[float] = None,
              **kwargs: Any) -> SpmdResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` simulated ranks.
 
     ``on_fused_fallback`` is invoked (if given) when a ``fused`` run
     diverges, *before* the lockstep re-run — callers use it to discard
     any partial side effects the aborted fused pass left behind.
+
+    ``fault_plan`` (a :class:`~repro.mpi.faults.FaultPlan`, inline spec
+    string, or path; default ``$REPRO_FAULT_PLAN``) injects a
+    deterministic chaos schedule.  ``watchdog`` (seconds, default
+    ``$REPRO_WATCHDOG_SECONDS``) aborts the run with a structured
+    :class:`~repro.errors.SpmdWatchdogError` if it exceeds that much
+    *host* wall-clock time — the safety net that keeps the free-running
+    ``threads`` backend from hanging CI.  See docs/RESILIENCE.md.
     """
     backend = resolve_backend(backend)
+    plan = resolve_fault_plan(fault_plan)
+    watchdog = resolve_watchdog(watchdog)
     if backend == "fused":
-        comm = FusedComm(nprocs, machine)  # validates nprocs vs machine
         try:
+            comm = FusedComm(nprocs, machine,  # validates nprocs/machine
+                             fault_plan=plan)
             result = fn(comm, *args, **kwargs)
         except FusionDivergence:
+            # rank-dependent program — or a chaos plan, whose fault
+            # schedule is inherently rank-dependent: re-run honestly
             if on_fused_fallback is not None:
                 on_fused_fallback()
             return run_spmd(nprocs, machine, fn, *args,
-                            backend="lockstep", **kwargs)
+                            backend="lockstep", fault_plan=plan,
+                            watchdog=watchdog, **kwargs)
+        except MpiError:
+            raise  # substrate diagnostics keep their structured type
         except BaseException as exc:  # noqa: BLE001 - parity with lockstep
             raise MpiError(f"rank 0 failed: {exc}") from exc
         world = comm.world
@@ -119,9 +181,14 @@ def run_spmd(nprocs: int, machine: MachineModel,
             backend="fused",
         )
     scheduler = LockstepScheduler(nprocs) if backend == "lockstep" else None
-    world = World(nprocs, machine, scheduler=scheduler)
+    world = World(nprocs, machine, scheduler=scheduler, fault_plan=plan)
     if scheduler is not None:
         scheduler.on_deadlock = world.abort
+        if world.virtual_timeout is not None:
+            timeout = world.virtual_timeout
+            scheduler.deadlock_factory = lambda graph: MpiTimeoutError(
+                f"virtual-clock timeout (limit {timeout:.9g}s): "
+                f"no simulated rank can make progress", wait_graph=graph)
     results: list[Any] = [None] * nprocs
     errors: list[tuple[int, BaseException]] = []
     lock = threading.Lock()
@@ -145,29 +212,73 @@ def run_spmd(nprocs: int, machine: MachineModel,
             if scheduler is not None:
                 scheduler.finish_rank(rank)
 
-    if scheduler is not None:
-        scheduler.kickoff()
-    if nprocs == 1:
-        # fast path: no threads needed (the baton, if any, is pre-set)
-        worker(0)
-    else:
-        threads = [threading.Thread(target=worker, args=(rank,),
-                                    name=f"spmd-rank-{rank}", daemon=True)
-                   for rank in range(nprocs)]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
+    timer: Optional[threading.Timer] = None
+    if watchdog is not None:
+        def _expire() -> None:
+            graph = world.wait_snapshot()
+            exc = SpmdWatchdogError(
+                f"SPMD watchdog expired after {watchdog:g}s host time; "
+                f"aborting the run instead of hanging",
+                wait_graph=graph or None)
+            world.abort(exc)
+            if scheduler is not None:
+                scheduler.abort()
+
+        timer = threading.Timer(watchdog, _expire)
+        timer.daemon = True
+        timer.start()
+    try:
+        if scheduler is not None:
+            scheduler.kickoff()
+        if nprocs == 1:
+            # fast path: no threads needed (the baton, if any, is pre-set)
+            worker(0)
+        else:
+            threads = [threading.Thread(target=worker, args=(rank,),
+                                        name=f"spmd-rank-{rank}",
+                                        daemon=True)
+                       for rank in range(nprocs)]
+            for thread in threads:
+                thread.start()
+            # guaranteed teardown: joins are bounded once the world has
+            # aborted, so a truly wedged rank (e.g. an infinite compute
+            # loop the watchdog cannot interrupt) is abandoned as a
+            # daemon after a grace period instead of hanging the caller
+            deadline: Optional[float] = None
+            for thread in threads:
+                while thread.is_alive():
+                    thread.join(timeout=0.1)
+                    if world.aborted is None:
+                        continue
+                    if deadline is None:
+                        deadline = time.monotonic() + _TEARDOWN_GRACE
+                    elif time.monotonic() > deadline:
+                        break
+    finally:
+        if timer is not None:
+            timer.cancel()
 
     if errors:
         rank, exc = min(errors, key=lambda pair: pair[0])
+        if isinstance(exc, MpiError):
+            raise exc  # structured substrate diagnostic: keep the type
         raise MpiError(f"rank {rank} failed: {exc}") from exc
     if world.aborted is not None:
         # no rank raised, yet the world aborted: the scheduler detected
-        # a deadlock and recorded the wait graph as the abort cause
+        # a deadlock (or the watchdog fired) and recorded the cause
         if isinstance(world.aborted, MpiError):
             raise world.aborted
-        raise MpiError(f"SPMD run aborted: {world.aborted}")
+        raise MpiError(
+            f"SPMD run aborted: {world.aborted}") from world.aborted
+    if world.faults is not None and any(world.mailboxes.values()):
+        # chaos left messages on the wire that no rank ever received
+        # (e.g. duplicates): a protocol anomaly, reported deterministically
+        leftovers = ", ".join(
+            f"rank {src}->rank {dst} tag={tag} x{len(queue)}"
+            for (src, dst, tag), queue in sorted(world.mailboxes.items())
+            if queue)
+        raise MpiError(
+            f"unconsumed messages after faulted run: {leftovers}")
 
     return SpmdResult(
         results=results,
@@ -179,4 +290,6 @@ def run_spmd(nprocs: int, machine: MachineModel,
         collectives=world.collectives,
         collective_counts=dict(world.collective_counts),
         backend=backend,
+        fault_events=world.faults.events if world.faults is not None
+        else [],
     )

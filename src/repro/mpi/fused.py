@@ -106,10 +106,17 @@ class FusedComm:
 
     is_fused = True
 
-    def __init__(self, nprocs: int, machine: MachineModel):
+    def __init__(self, nprocs: int, machine: MachineModel,
+                 fault_plan=None):
+        if fault_plan is not None and fault_plan.has_faults:
+            # fault schedules are per-rank by construction; a single
+            # fused pass cannot honor them — fall back to lockstep
+            raise FusionDivergence(
+                "fault injection is rank-dependent; chaos runs fall "
+                "back to lockstep")
         # World doubles as the stats/clocks container so SpmdResult and
         # compiler instrumentation read the same fields on every backend
-        self.world = World(nprocs, machine)
+        self.world = World(nprocs, machine, fault_plan=fault_plan)
         self.size = nprocs
         self.machine = machine
 

@@ -22,7 +22,7 @@ curve *shapes*, not the authors' exact wall clocks.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..interp.costmodel import InterpCostParams
 
@@ -58,6 +58,14 @@ class Link:
     latency: float    # seconds, one message
     bandwidth: float  # bytes/second
 
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError(f"link latency must be >= 0 "
+                             f"(got {self.latency!r})")
+        if self.bandwidth <= 0:
+            raise ValueError(f"link bandwidth must be > 0 "
+                             f"(got {self.bandwidth!r})")
+
 
 @dataclass(frozen=True)
 class MachineModel:
@@ -80,6 +88,20 @@ class MachineModel:
     # era-plausible 1997 values.  Backs the paper's Section 7 claim that
     # parallel machines solve problems no single workstation can hold.
     memory_per_cpu: int = 128 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.max_cpus < 1:
+            raise ValueError(f"max_cpus must be >= 1 "
+                             f"(got {self.max_cpus!r})")
+        if self.cpus_per_node < 0:
+            raise ValueError(f"cpus_per_node must be >= 0 "
+                             f"(got {self.cpus_per_node!r})")
+        if self.bus_contention < 0:
+            raise ValueError(f"bus_contention must be >= 0 "
+                             f"(got {self.bus_contention!r})")
+        if self.memory_per_cpu <= 0:
+            raise ValueError(f"memory_per_cpu must be > 0 "
+                             f"(got {self.memory_per_cpu!r})")
 
     # -- topology ------------------------------------------------------- #
 

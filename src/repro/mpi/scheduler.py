@@ -86,6 +86,11 @@ class LockstepScheduler:
         #: called with a DeadlockError when the run queue empties while
         #: ranks are still blocked (wired to ``World.abort``)
         self.on_deadlock: Optional[Callable[[BaseException], None]] = None
+        #: builds the no-progress exception from the wait-graph report;
+        #: the executor swaps in MpiTimeoutError when a fault plan
+        #: configures a virtual-clock timeout (a run that cannot
+        #: progress has, a fortiori, exceeded any finite patience)
+        self.deadlock_factory: Callable[[str], BaseException] = DeadlockError
         #: observability: number of baton handoffs performed
         self.handoffs = 0
 
@@ -185,7 +190,7 @@ class LockstepScheduler:
         blocked = [r for r in range(self.nprocs)
                    if self._state[r] == BLOCKED]
         if blocked:
-            error = DeadlockError(self._wait_graph_locked())
+            error = self.deadlock_factory(self._wait_graph_locked())
             self._abort_locked()
             if self.on_deadlock is not None:
                 self.on_deadlock(error)

@@ -29,7 +29,7 @@ from ..interp import values as V
 from ..mpi.comm import Comm
 from ..mpi.fused import PerRankScalar
 from .matrix import DMatrix, FusedDMatrix, RValue
-from .memory import MemoryTracker, install_tracker
+from .memory import MemoryTracker, current_tracker, install_tracker
 
 COLON = V.COLON
 
@@ -67,6 +67,17 @@ class RuntimeContext:
         # per-rank local-memory high-water mark (paper Section 7 claim)
         self.memory = MemoryTracker()
         install_tracker(self.memory)
+
+    def close(self) -> None:
+        """Uninstall this context's thread-local memory tracker.
+
+        Rank carrier threads die with their tracker, but the nprocs==1
+        fast path (and the fused backend) runs on the *caller's* thread —
+        without this teardown the tracker would keep charging allocations
+        long after the program finished.
+        """
+        if current_tracker() is self.memory:
+            install_tracker(None)
 
     # ------------------------------------------------------------------ #
     # small helpers

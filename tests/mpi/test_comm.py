@@ -65,12 +65,25 @@ class TestPointToPoint:
         res = spmd(2, prog)
         assert res.results == [10, 0]
 
-    def test_send_to_self_rejected(self):
+    def test_send_to_self_buffered(self):
+        # MPI allows a rank to message itself: the send buffers through
+        # the local queue and a later recv completes immediately
         def prog(comm):
-            comm.send(1, dest=comm.rank)
+            comm.send(comm.rank * 10 + 1, dest=comm.rank, tag=3)
+            return comm.recv(source=comm.rank, tag=3)
 
-        with pytest.raises(MpiError):
-            spmd(2, prog)
+        res = spmd(2, prog)
+        assert res.results == [1, 11]
+        assert res.messages_sent == 2
+
+    def test_send_to_self_preserves_ordering(self):
+        def prog(comm):
+            comm.send("first", dest=comm.rank)
+            comm.send("second", dest=comm.rank)
+            return (comm.recv(source=comm.rank), comm.recv(source=comm.rank))
+
+        res = spmd(1, prog)
+        assert res.results[0] == ("first", "second")
 
     def test_invalid_destination(self):
         def prog(comm):

@@ -92,3 +92,72 @@ class TestScanOp:
 
         res = run_spmd(3, MEIKO_CS2, prog)
         np.testing.assert_array_equal(res.results[2], [6.0, 6.0])
+
+
+class TestArgumentValidation:
+    """Negative tags collide with the ANY_TAG/ANY_SOURCE sentinels (-1):
+    a send posted with tag=-1 would match *every* wildcard recv.  All
+    entry points reject them eagerly with a clear diagnostic."""
+
+    def test_send_rejects_negative_tag(self):
+        from repro.mpi import MpiError
+
+        def prog(comm):
+            comm.send(1, dest=(comm.rank + 1) % comm.size, tag=-1)
+
+        with pytest.raises(MpiError, match="ANY_TAG sentinel"):
+            run_spmd(2, MEIKO_CS2, prog)
+
+    def test_send_rejects_non_integer_tag(self):
+        from repro.mpi import MpiError
+
+        def prog(comm):
+            comm.send(1, dest=(comm.rank + 1) % comm.size, tag=1.5)
+
+        with pytest.raises(MpiError, match="invalid tag"):
+            run_spmd(2, MEIKO_CS2, prog)
+
+    def test_recv_rejects_negative_non_sentinel_tag(self):
+        from repro.mpi import MpiError
+
+        def prog(comm):
+            comm.recv(source=0, tag=-7)
+
+        with pytest.raises(MpiError, match="invalid tag"):
+            run_spmd(2, MEIKO_CS2, prog)
+
+    def test_recv_any_tag_sentinel_still_allowed(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("ok", dest=1, tag=9)
+                return None
+            return comm.recv(source=0, tag=ANY_TAG)
+
+        assert run_spmd(2, MEIKO_CS2, prog).results[1] == "ok"
+
+    def test_irecv_validates_at_post_time(self):
+        from repro.mpi import MpiError
+
+        def prog(comm):
+            comm.irecv(source=0, tag=-2)  # never waited on
+
+        with pytest.raises(MpiError, match="invalid tag"):
+            run_spmd(2, MEIKO_CS2, prog)
+
+    def test_recv_rejects_out_of_range_source(self):
+        from repro.mpi import MpiError
+
+        def prog(comm):
+            comm.recv(source=99)
+
+        with pytest.raises(MpiError, match="invalid source"):
+            run_spmd(2, MEIKO_CS2, prog)
+
+    def test_sendrecv_validates_all_four(self):
+        from repro.mpi import MpiError
+
+        def prog(comm):
+            comm.sendrecv(1, dest=comm.rank, sendtag=-3)
+
+        with pytest.raises(MpiError, match="invalid tag"):
+            run_spmd(2, MEIKO_CS2, prog)
