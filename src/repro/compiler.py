@@ -21,6 +21,7 @@ Typical use::
 
 from __future__ import annotations
 
+import time
 import types as _types
 from dataclasses import dataclass, field
 from typing import Any, Optional
@@ -52,6 +53,11 @@ class RunResult:
     peak_local_bytes: list[int] = field(default_factory=list)
 
     @property
+    def trace(self):
+        """The :class:`~repro.trace.WorldTrace` of the run (or ``None``)."""
+        return self.spmd.trace
+
+    @property
     def nprocs(self) -> int:
         return self.spmd.nprocs
 
@@ -68,6 +74,8 @@ class CompiledProgram:
     peephole_stats: PeepholeStats
     licm_stats: LicmStats
     provider: MFileProvider
+    #: host seconds spent in each compiler pass: [(name, seconds), ...]
+    pass_timings: list[tuple[str, float]] = field(default_factory=list)
     _module: Optional[_types.ModuleType] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------ #
@@ -97,7 +105,8 @@ class CompiledProgram:
             cache_gathers: bool = False,
             backend: str | None = None,
             fault_plan=None,
-            watchdog: float | None = None) -> RunResult:
+            watchdog: float | None = None,
+            trace: bool | None = None) -> RunResult:
         """Execute on ``nprocs`` simulated ranks of ``machine``.
 
         ``backend`` picks the SPMD execution backend (``"lockstep"``,
@@ -106,7 +115,10 @@ class CompiledProgram:
         :func:`repro.mpi.executor.run_spmd`.  ``fault_plan`` and
         ``watchdog`` pass straight through to ``run_spmd`` (chaos
         injection and the host-wall-clock safety net; see
-        docs/RESILIENCE.md).
+        docs/RESILIENCE.md).  ``trace`` records a deterministic
+        :class:`~repro.trace.WorldTrace`, surfaced on
+        ``RunResult.trace`` (default ``$REPRO_TRACE``; see
+        docs/OBSERVABILITY.md).
         """
         from .mpi.machine import MEIKO_CS2
 
@@ -125,14 +137,16 @@ class CompiledProgram:
                 workspace = main(rt)
                 peaks[rt.rank] = rt.peak_local_bytes
                 clocks = comm.clock_snapshot()
+                token = comm.trace_suspend()
                 # Replicate the final workspace (gathers run on every
                 # rank, in the same deterministic order) so callers see
                 # plain values.  This is *instrumentation* — roll its
-                # cost back off the virtual clock so `elapsed` measures
-                # only the program.
+                # cost back off the virtual clock (and keep it out of
+                # the trace) so `elapsed` measures only the program.
                 replicated = {name: rt.to_interp_value(value)
                               for name, value in workspace.items()}
                 comm.clock_restore(clocks)
+                comm.trace_resume(token)
                 return replicated
             finally:
                 # crucial for the nprocs==1 / fused inline paths, which
@@ -147,7 +161,8 @@ class CompiledProgram:
 
         spmd = run_spmd(nprocs, machine, rank_main, backend=backend,
                         on_fused_fallback=discard_partial_fused,
-                        fault_plan=fault_plan, watchdog=watchdog)
+                        fault_plan=fault_plan, watchdog=watchdog,
+                        trace=trace)
         if spmd.backend == "fused":
             # one pass stood in for all ranks: its (rank-0-modeled) peak
             # applies to every rank's local share estimate
@@ -171,16 +186,27 @@ class OtterCompiler:
         self.licm = licm
 
     def compile(self, source: str, name: str = "script") -> CompiledProgram:
-        script = parse_script(source, name)                       # pass 1
-        resolved = resolve_program(script, self.provider)         # pass 2
-        types = infer_types(resolved)                             # pass 3
-        ir = lower_program(resolved, types)                       # pass 4
-        guard_program(ir)                                         # pass 5
-        stats = peephole_program(ir, enabled=self.peephole)       # pass 6
-        licm_stats = licm_program(ir, enabled=self.licm)          # pass 6b
+        timings: list[tuple[str, float]] = []
+
+        def timed(pass_name, fn, *args, **kwargs):
+            t0 = time.perf_counter()
+            result = fn(*args, **kwargs)
+            timings.append((pass_name, time.perf_counter() - t0))
+            return result
+
+        script = timed("parse", parse_script, source, name)       # pass 1
+        resolved = timed("resolve", resolve_program,              # pass 2
+                         script, self.provider)
+        types = timed("infer", infer_types, resolved)             # pass 3
+        ir = timed("lower", lower_program, resolved, types)       # pass 4
+        timed("guard", guard_program, ir)                         # pass 5
+        stats = timed("peephole", peephole_program,               # pass 6
+                      ir, enabled=self.peephole)
+        licm_stats = timed("licm", licm_program,                  # pass 6b
+                           ir, enabled=self.licm)
         from .codegen.py_emitter import emit_python               # pass 7
 
-        py_source = emit_python(ir)
+        py_source = timed("emit", emit_python, ir)
         return CompiledProgram(
             name=name,
             resolved=resolved,
@@ -190,6 +216,7 @@ class OtterCompiler:
             peephole_stats=stats,
             licm_stats=licm_stats,
             provider=self.provider,
+            pass_timings=timings,
         )
 
 

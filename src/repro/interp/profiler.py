@@ -6,6 +6,12 @@ dominate (and therefore what the parallel compiler will speed up).  The
 profiler hooks the interpreter's statement dispatch and attributes the
 cost-meter time delta of each statement to its source line.
 
+The accumulator and report share the trace layer's per-line profile
+schema (:class:`~repro.trace.profile.ProfileRow` and its renderers), so
+``python -m repro interp script.m --profile`` and the compiled
+``python -m repro run script.m --trace-summary`` emit the same table —
+the interpreter simply has no messages/bytes/collectives to report.
+
 Use::
 
     from repro.interp import CostMeter, Interpreter, LineProfiler
@@ -21,27 +27,30 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..trace.profile import (
+    ProfileRow,
+    render_ranked_profile,
+    render_source_profile,
+)
 
-@dataclass
-class LineStats:
-    hits: int = 0
-    time: float = 0.0
+#: backwards-compatible name: one profiled line's statistics
+LineStats = ProfileRow
 
 
 @dataclass
 class LineProfiler:
     """Accumulates per-(file, line) hit counts and modeled seconds."""
 
-    lines: dict[tuple[str, int], LineStats] = field(default_factory=dict)
+    lines: dict[tuple[str, int], ProfileRow] = field(default_factory=dict)
     enabled: bool = True
     _total: float = 0.0
 
     def record(self, filename: str, line: int, dt: float) -> None:
         if not self.enabled or line <= 0:
             return
-        stats = self.lines.setdefault((filename, line), LineStats())
-        stats.hits += 1
-        stats.time += dt
+        row = self.lines.setdefault((filename, line), ProfileRow())
+        row.calls += 1
+        row.time += dt
         self._total += dt
 
     # ------------------------------------------------------------------ #
@@ -50,33 +59,20 @@ class LineProfiler:
         """Sum of recorded times — O(1), kept running by :meth:`record`."""
         return self._total
 
-    def hottest(self, k: int = 10) -> list[tuple[tuple[str, int], LineStats]]:
+    def hottest(self, k: int = 10) -> list[tuple[tuple[str, int], ProfileRow]]:
         return sorted(self.lines.items(),
                       key=lambda item: item[1].time, reverse=True)[:k]
 
     def report(self, source: str | None = None,
                filename: str = "<script>", top: int = 0) -> str:
-        """ASCII profile; with ``source``, annotates the script's lines."""
-        total = self.total_time() or 1e-30
-        out = [f"{'line':>6s} {'hits':>8s} {'time(ms)':>10s} {'%':>6s}  "
-               f"source"]
-        out.append("-" * 72)
+        """ASCII profile in the shared trace-schema format; with
+        ``source``, annotates the script's lines (rows from other files
+        — M-file functions — show in the ranked ``report()`` view)."""
         if source is not None:
-            src_lines = source.splitlines()
-            for lineno, text in enumerate(src_lines, start=1):
-                stats = self.lines.get((filename, lineno))
-                if stats is None:
-                    out.append(f"{lineno:6d} {'':8s} {'':10s} {'':6s}  "
-                               f"{text}")
-                else:
-                    pct = 100.0 * stats.time / total
-                    out.append(
-                        f"{lineno:6d} {stats.hits:8d} "
-                        f"{stats.time * 1e3:10.3f} {pct:5.1f}%  {text}")
-            return "\n".join(out)
-        ranked = self.hottest(top or len(self.lines))
-        for (fname, lineno), stats in ranked:
-            pct = 100.0 * stats.time / total
-            out.append(f"{lineno:6d} {stats.hits:8d} "
-                       f"{stats.time * 1e3:10.3f} {pct:5.1f}%  {fname}")
-        return "\n".join(out)
+            names = {fname for fname, _line in self.lines}
+            if filename not in names and len(names) == 1:
+                filename = next(iter(names))  # single-file run: use it
+            by_line = {line: row for (fname, line), row in self.lines.items()
+                       if fname == filename}
+            return render_source_profile(by_line, source, filename=filename)
+        return render_ranked_profile(self.lines, top=top)

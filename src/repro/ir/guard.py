@@ -53,8 +53,10 @@ class _UnitGuard:
                 subs_ok = (len(stmt.subs) in (1, 2)
                            and all(self._is_scalar(s) for s in stmt.subs))
                 if subs_ok and self._is_scalar(stmt.rhs):
-                    block[i] = SetElement(var=stmt.var, subs=stmt.subs,
-                                          rhs=stmt.rhs, guarded=True)
+                    guarded = SetElement(var=stmt.var, subs=stmt.subs,
+                                         rhs=stmt.rhs, guarded=True)
+                    guarded.line = stmt.line
+                    block[i] = guarded
             elif isinstance(stmt, IRIf):
                 for cond_stmts, _cond, branch in stmt.branches:
                     self.run(cond_stmts)

@@ -71,6 +71,28 @@ _EW_BUILTINS = {
 }
 
 
+def _stamp_block(stmts: list[IRStmt], line: int) -> None:
+    """Attribute every not-yet-stamped statement (recursively) to a
+    source line.  Statements lowered from nested AST blocks were already
+    stamped with their own lines and keep them; hoisted helpers (RT
+    calls computing a condition or iterable) inherit the enclosing
+    statement's line."""
+    for s in stmts:
+        if s.line == 0:
+            s.line = line
+        if isinstance(s, IRIf):
+            for cond_stmts, _cond, branch in s.branches:
+                _stamp_block(cond_stmts, s.line)
+                _stamp_block(branch, s.line)
+            _stamp_block(s.orelse, s.line)
+        elif isinstance(s, IRFor):
+            _stamp_block(s.iter_stmts, s.line)
+            _stamp_block(s.body, s.line)
+        elif isinstance(s, IRWhile):
+            _stamp_block(s.cond_stmts, s.line)
+            _stamp_block(s.body, s.line)
+
+
 class Lowerer:
     def __init__(self, program: ResolvedProgram, types: ProgramTypes):
         self.program = program
@@ -118,7 +140,11 @@ class Lowerer:
     def _lower_body(self, body: list[A.Stmt], ut: UnitTypes) -> list[IRStmt]:
         out: list[IRStmt] = []
         for stmt in body:
+            start = len(out)
             self._lower_stmt(stmt, ut, out)
+            line = stmt.loc.line
+            if line:
+                _stamp_block(out[start:], line)
         return out
 
     def _lower_stmt(self, stmt: A.Stmt, ut: UnitTypes,
@@ -134,6 +160,8 @@ class Lowerer:
             for cond, body in stmt.branches:
                 cond_stmts: list[IRStmt] = []
                 cond_op = self._as_operand(cond, ut, cond_stmts)
+                # elseif conditions live on their own source lines
+                _stamp_block(cond_stmts, cond.loc.line or stmt.loc.line)
                 branches.append((cond_stmts, cond_op,
                                  self._lower_body(body, ut)))
             out.append(IRIf(branches=branches,
@@ -143,6 +171,7 @@ class Lowerer:
         elif isinstance(stmt, A.While):
             cond_stmts: list[IRStmt] = []
             cond_op = self._as_operand(stmt.cond, ut, cond_stmts)
+            _stamp_block(cond_stmts, stmt.cond.loc.line or stmt.loc.line)
             out.append(IRWhile(cond_stmts=cond_stmts, cond=cond_op,
                                body=self._lower_body(stmt.body, ut)))
         elif isinstance(stmt, A.Switch):

@@ -135,7 +135,12 @@ def ew_operands(expr: EwExpr) -> list[Operand]:
 
 @dataclass
 class IRStmt:
-    pass
+    #: originating MATLAB source line (1-based; 0 = unknown), stamped by
+    #: pass 4 from the AST locations and threaded through to the emitted
+    #: code so the trace layer can attribute communication to statements.
+    #: A plain class attribute, not a dataclass field: a defaulted field
+    #: here would force defaults onto every subclass's leading fields.
+    line = 0
 
 
 @dataclass

@@ -124,13 +124,15 @@ def _fuse_transpose_matmul(block: list, stats: PeepholeStats) -> None:
                 and second.args[1] != first.dest
                 and _uses_in_block(block, first.dest, i + 2) == 0):
             conj = first.op == "transpose"
-            block[i:i + 2] = [RTCall(
+            fused = RTCall(
                 dest=second.dest,
                 op="matmul_t" if conj else "matmul_tnc",
                 args=[first.args[0], second.args[1]],
                 vtype=second.vtype,
                 extra_dests=second.extra_dests,
-            )]
+            )
+            fused.line = second.line
+            block[i:i + 2] = [fused]
             stats.transpose_fused += 1
             continue
         i += 1
@@ -166,7 +168,9 @@ def _local_cse(block: list, stats: PeepholeStats) -> None:
             key = (stmt.op, tuple(stmt.args))
             hit = available.get(key)
             if hit is not None:
-                block[i] = Copy(dest=stmt.dest, src=hit, vtype=stmt.vtype)
+                copy = Copy(dest=stmt.dest, src=hit, vtype=stmt.vtype)
+                copy.line = stmt.line
+                block[i] = copy
                 stats.cse_removed += 1
                 i += 1
                 continue

@@ -112,7 +112,7 @@ class World:
     """
 
     def __init__(self, nprocs: int, machine: MachineModel, scheduler=None,
-                 fault_plan=None):
+                 fault_plan=None, trace=None):
         if nprocs < 1:
             raise MpiError("need at least one process")
         if nprocs > machine.max_cpus:
@@ -122,6 +122,10 @@ class World:
         self.nprocs = nprocs
         self.machine = machine
         self.scheduler = scheduler
+        #: optional :class:`~repro.trace.recorder.WorldTrace`; when set,
+        #: each rank's Comm caches its own recorder and the substrate
+        #: records events (None: every trace hook is one dead branch)
+        self.trace = trace
         # chaos: a seeded FaultPlan makes every send/recv/sync consult
         # FaultState; a plan with no injectable rules costs nothing
         self.faults: Optional[FaultState] = None
@@ -130,6 +134,13 @@ class World:
             self.virtual_timeout = fault_plan.virtual_timeout
             if fault_plan.has_faults:
                 self.faults = FaultState(fault_plan, nprocs)
+                if trace is not None:
+                    # injected-fault events join the trace stream (the
+                    # CLI echoes to stderr only when no recorder exists)
+                    recorders = trace.recorders
+                    self.faults.sink = (
+                        lambda rank, text, now:
+                        recorders[rank].fault(text, now))
         self.clocks = [0.0] * nprocs
         self.cond = threading.Condition()
         # (src, dst, tag) -> deque of (payload, arrival_time, nbytes,
@@ -147,6 +158,10 @@ class World:
         self._coll_result: Any = None
         self._coll_time: float = 0.0
         self._coll_tmax: float = 0.0  # rendezvous instant, pre-cost
+        #: payload size of the current collective, published by each
+        #: combine closure for the trace layer (exactly the value fed to
+        #: ``collective_time``, so every backend reports the same bytes)
+        self._coll_nbytes: int = 0
         self._arrived = 0
         self._departed = 0
         self._generation = 0
@@ -209,6 +224,7 @@ class World:
     def _run_combine(self, combine: Callable, op: Optional[str]) -> None:
         """All contributions are in: run ``combine`` exactly once and
         publish the result for this generation."""
+        self._coll_nbytes = 0  # combines that price bytes re-publish
         tmax = max(self.clocks)
         result, tnew = combine(list(self._slots), tmax)
         self._coll_result = result
@@ -222,16 +238,23 @@ class World:
 
     def sync(self, rank: int, contribution: Any,
              combine: Callable[[list, float], tuple[Any, float]],
-             op: Optional[str] = None):
+             op: Optional[str] = None, rec=None, line: int = 0):
+        """``rec``/``line`` are the calling rank's trace recorder and
+        current source line (``None``/0 when tracing is off or
+        suspended) — passed by value so a suspended recorder really
+        records nothing."""
         if self.faults is not None:
             self.faults.check_crash(rank, op or "collective",
                                     self.clocks[rank])
         if self.scheduler is not None:
-            return self._sync_lockstep(rank, contribution, combine, op)
-        return self._sync_threads(rank, contribution, combine, op)
+            return self._sync_lockstep(rank, contribution, combine, op,
+                                       rec, line)
+        return self._sync_threads(rank, contribution, combine, op,
+                                  rec, line)
 
     def _sync_lockstep(self, rank: int, contribution: Any,
-                       combine: Callable, op: Optional[str]):
+                       combine: Callable, op: Optional[str],
+                       rec=None, line: int = 0):
         """Single-runner rendezvous: no locks, no broadcast, no polling.
 
         Early ranks park; the last rank to arrive runs ``combine`` once
@@ -257,11 +280,16 @@ class World:
                     self.scheduler.unblock(peer)
         self._check_virtual_timeout(
             rank, self._coll_tmax - self.clocks[rank], op or "collective")
-        self.clocks[rank] = max(self.clocks[rank], self._coll_time)
+        t0 = self.clocks[rank]
+        self.clocks[rank] = max(t0, self._coll_time)
+        if rec is not None:
+            rec.collective(op or "collective", line, t0,
+                           self.clocks[rank] - t0, self._coll_nbytes)
         return self._coll_result
 
     def _sync_threads(self, rank: int, contribution: Any,
-                      combine: Callable, op: Optional[str]):
+                      combine: Callable, op: Optional[str],
+                      rec=None, line: int = 0):
         with self.cond:
             self._check_abort()
             generation = self._generation
@@ -279,7 +307,14 @@ class World:
             self._check_virtual_timeout(
                 rank, self._coll_tmax - self.clocks[rank],
                 op or "collective")
-            self.clocks[rank] = max(self.clocks[rank], self._coll_time)
+            t0 = self.clocks[rank]
+            self.clocks[rank] = max(t0, self._coll_time)
+            if rec is not None:
+                # still under ``cond`` and before departure, so
+                # ``_coll_nbytes`` cannot yet belong to the *next*
+                # collective of a faster peer
+                rec.collective(op or "collective", line, t0,
+                               self.clocks[rank] - t0, self._coll_nbytes)
             self._departed += 1
             if self._departed == self.nprocs:
                 self._departed = 0
@@ -343,6 +378,14 @@ class Comm:
         self.rank = rank
         self.size = world.nprocs
         self.machine = world.machine
+        #: current MATLAB source line (generated code stores line markers
+        #: here; plain attribute, so the disabled-tracing cost is one
+        #: store per marked statement)
+        self.line = 0
+        #: this rank's trace recorder, or None (tracing off/suspended);
+        #: every hook below guards on this single cached reference
+        self._rec = None if world.trace is None \
+            else world.trace.recorders[rank]
 
     # -- virtual time --------------------------------------------------- #
 
@@ -354,14 +397,21 @@ class Comm:
         if dt < 0:
             raise MpiError("cannot advance the clock backwards")
         self.world.clocks[self.rank] += dt
+        if self._rec is not None:
+            self._rec.charge(self.line, dt)
 
     def compute(self, flops: int = 0, elems: int = 0, mem: int = 0) -> None:
         """Charge local computation to this rank's clock."""
-        self.advance(self.machine.compute_time(
-            flops=flops, elems=elems, mem=mem, active_cpus=self.size))
+        dt = self.machine.compute_time(
+            flops=flops, elems=elems, mem=mem, active_cpus=self.size)
+        if self._rec is not None and dt > 0.0:
+            self._rec.compute(self.line, self.world.clocks[self.rank], dt)
+        self.advance(dt)
 
     def overhead(self, calls: int = 1) -> None:
         """Charge run-time-library call overhead."""
+        if self._rec is not None:
+            self._rec.calls(self.line, calls)
         self.advance(calls * self.machine.cpu.call_overhead)
 
     def clock_snapshot(self):
@@ -371,6 +421,23 @@ class Comm:
     def clock_restore(self, snapshot) -> None:
         """Roll the clock back to a snapshot (instrumentation support)."""
         self.world.clocks[self.rank] = snapshot
+
+    # -- tracing -------------------------------------------------------- #
+
+    def trace_suspend(self):
+        """Detach this rank's recorder (for instrumentation-only work
+        whose clock cost is rolled back, e.g. final-workspace gathers);
+        returns a token for :meth:`trace_resume`."""
+        rec, self._rec = self._rec, None
+        return rec
+
+    def trace_resume(self, token) -> None:
+        self._rec = token
+
+    def trace_io(self, nbytes: int) -> None:
+        """Record a program-output event (rank 0 writes on every backend)."""
+        if self._rec is not None:
+            self._rec.io(self.line, self.world.clocks[self.rank], nbytes)
 
     # -- point-to-point -------------------------------------------------- #
 
@@ -450,6 +517,10 @@ class Comm:
             self.machine.link_between(self.rank, dest).latency * 0.5
         world.messages_sent += 1
         world.bytes_sent += nbytes
+        rec = self._rec
+        if rec is not None:
+            rec.send(self.line, t_send, world.clocks[self.rank] - t_send,
+                     dest, tag, nbytes)
         if not delivered:
             return False
         key = (self.rank, dest, tag)
@@ -461,6 +532,9 @@ class Comm:
             # never silently
             world.messages_sent += copies - 1
             world.bytes_sent += nbytes * (copies - 1)
+            if rec is not None:
+                rec.extra_copies(self.line, copies - 1,
+                                 nbytes * (copies - 1))
         return True
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
@@ -511,6 +585,9 @@ class Comm:
                 f"(tag {key[2]}, {nbytes} B) failed its integrity check: "
                 f"payload corrupted in transit")
         world.clocks[self.rank] = max(me, arrival)
+        if self._rec is not None:
+            self._rec.recv(self.line, me, max(0.0, arrival - me),
+                           key[0], key[2], nbytes)
         if status is not None:
             status.source, status.tag = key[0], key[2]
             status.nbytes = nbytes
@@ -586,24 +663,33 @@ class Comm:
         def combine(slots, tmax):
             return None, tmax + cost
 
-        self.world.sync(self.rank, None, combine, op="barrier")
+        self.world.sync(self.rank, None, combine, op="barrier",
+                        rec=self._rec, line=self.line)
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         if not (0 <= root < self.size):
             raise MpiError(f"invalid root {root}")
         if self.size == 1:
             self.world._count("bcast")
+            if self._rec is not None:
+                self._rec.collective("bcast", self.line,
+                                     self.world.clocks[self.rank], 0.0,
+                                     sizeof(obj))
             return obj
         machine = self.machine
         size = self.size
+        world = self.world
 
         def combine(slots, tmax):
             payload = slots[root]
-            cost = machine.collective_time("bcast", sizeof(payload), size)
+            nbytes = sizeof(payload)
+            world._coll_nbytes = nbytes
+            cost = machine.collective_time("bcast", nbytes, size)
             return payload, tmax + cost
 
         return self.world.sync(self.rank, obj if self.rank == root else None,
-                               combine, op="bcast")
+                               combine, op="bcast",
+                               rec=self._rec, line=self.line)
 
     def reduce(self, obj: Any, op: Callable = SUM, root: int = 0) -> Any:
         result = self._reduce_impl(obj, op, "reduce")
@@ -615,49 +701,63 @@ class Comm:
     def _reduce_impl(self, obj: Any, op: Callable, kind: str) -> Any:
         if self.size == 1:
             self.world._count(kind)
+            if self._rec is not None:
+                self._rec.collective(kind, self.line,
+                                     self.world.clocks[self.rank], 0.0,
+                                     sizeof(obj))
             return obj
         machine = self.machine
         size = self.size
+        world = self.world
 
         def combine(slots, tmax):
             acc = slots[0]
             for item in slots[1:]:
                 acc = op(acc, item)
             nbytes = max(sizeof(s) for s in slots)
+            world._coll_nbytes = nbytes
             cost = machine.collective_time(kind, nbytes, size)
             # reduction arithmetic itself: log2(P) combining steps
             elems = nbytes / 8.0
             cost += int(np.ceil(np.log2(size))) * elems * machine.cpu.elem_time
             return acc, tmax + cost
 
-        return self.world.sync(self.rank, obj, combine, op=kind)
+        return self.world.sync(self.rank, obj, combine, op=kind,
+                               rec=self._rec, line=self.line)
 
     def gather(self, obj: Any, root: int = 0) -> Optional[list]:
         machine = self.machine
         size = self.size
+        world = self.world
 
         def combine(slots, tmax):
             nbytes = max(sizeof(s) for s in slots)
+            world._coll_nbytes = nbytes
             cost = machine.collective_time("gather", nbytes, size)
             return list(slots), tmax + cost
 
-        result = self.world.sync(self.rank, obj, combine, op="gather")
+        result = self.world.sync(self.rank, obj, combine, op="gather",
+                                 rec=self._rec, line=self.line)
         return result if self.rank == root else None
 
     def allgather(self, obj: Any) -> list:
         machine = self.machine
         size = self.size
+        world = self.world
 
         def combine(slots, tmax):
             nbytes = max(sizeof(s) for s in slots)
+            world._coll_nbytes = nbytes
             cost = machine.collective_time("allgather", nbytes, size)
             return list(slots), tmax + cost
 
-        return self.world.sync(self.rank, obj, combine, op="allgather")
+        return self.world.sync(self.rank, obj, combine, op="allgather",
+                               rec=self._rec, line=self.line)
 
     def scatter(self, objs: Optional[list], root: int = 0) -> Any:
         machine = self.machine
         size = self.size
+        world = self.world
         if self.rank == root:
             if objs is None or len(objs) != size:
                 raise MpiError("scatter: root must supply one item per rank")
@@ -665,12 +765,14 @@ class Comm:
         def combine(slots, tmax):
             items = slots[root]
             per = sizeof(items[0]) if items else 0
+            world._coll_nbytes = per
             cost = machine.collective_time("scatter", per, size)
             return items, tmax + cost
 
         items = self.world.sync(self.rank,
                                 objs if self.rank == root else None,
-                                combine, op="scatter")
+                                combine, op="scatter",
+                                rec=self._rec, line=self.line)
         return items[self.rank]
 
     def alltoall(self, objs: list) -> list:
@@ -678,15 +780,18 @@ class Comm:
             raise MpiError("alltoall: need one item per rank")
         machine = self.machine
         size = self.size
+        world = self.world
 
         def combine(slots, tmax):
             per = max((sizeof(row[0]) if row else 0) for row in slots)
+            world._coll_nbytes = per
             cost = machine.collective_time("alltoall", per, size)
             transposed = [[slots[src][dst] for src in range(size)]
                           for dst in range(size)]
             return transposed, tmax + cost
 
-        result = self.world.sync(self.rank, objs, combine, op="alltoall")
+        result = self.world.sync(self.rank, objs, combine, op="alltoall",
+                                 rec=self._rec, line=self.line)
         return result[self.rank]
 
     def scan(self, obj: Any, op: Callable = SUM) -> Any:
@@ -694,6 +799,7 @@ class Comm:
         machine = self.machine
         size = self.size
         rank = self.rank
+        world = self.world
 
         def combine(slots, tmax):
             prefixes = []
@@ -702,8 +808,10 @@ class Comm:
                 acc = item if acc is None else op(acc, item)
                 prefixes.append(acc)
             nbytes = max(sizeof(s) for s in slots)
+            world._coll_nbytes = nbytes
             cost = machine.collective_time("allreduce", nbytes, size)
             return prefixes, tmax + cost
 
-        result = self.world.sync(self.rank, obj, combine, op="scan")
+        result = self.world.sync(self.rank, obj, combine, op="scan",
+                                 rec=self._rec, line=self.line)
         return result[rank]

@@ -60,6 +60,11 @@ FAULT_PLAN_ENV_VAR = "REPRO_FAULT_PLAN"
 #: environment default for the host-wall-clock watchdog (seconds)
 WATCHDOG_ENV_VAR = "REPRO_WATCHDOG_SECONDS"
 
+#: environment default for trace recording (any non-empty value except
+#: "0" enables it; the CLI additionally interprets the value — see
+#: docs/OBSERVABILITY.md)
+TRACE_ENV_VAR = "REPRO_TRACE"
+
 #: after an abort, give wedged carrier threads this long to unwind
 #: before abandoning them (they are daemons; the process stays healthy)
 _TEARDOWN_GRACE = 5.0
@@ -83,6 +88,14 @@ def resolve_fault_plan(fault_plan=None) -> Optional[FaultPlan]:
     if fault_plan is not None:
         return load_plan(fault_plan)
     return load_plan(os.environ.get(FAULT_PLAN_ENV_VAR))
+
+
+def resolve_trace(trace: Optional[bool] = None) -> bool:
+    """Decide whether to record a trace: argument > $REPRO_TRACE > off."""
+    if trace is not None:
+        return bool(trace)
+    raw = os.environ.get(TRACE_ENV_VAR)
+    return bool(raw) and raw != "0"
 
 
 def resolve_watchdog(watchdog: Optional[float] = None) -> Optional[float]:
@@ -120,6 +133,9 @@ class SpmdResult:
     #: deterministic log of injected chaos events (rank order), empty
     #: when no fault plan was active
     fault_events: list[str] = field(default_factory=list)
+    #: the :class:`~repro.trace.WorldTrace` recorded for this run, or
+    #: ``None`` when tracing was off (the default)
+    trace: Optional[Any] = None
 
     @property
     def elapsed(self) -> float:
@@ -133,6 +149,7 @@ def run_spmd(nprocs: int, machine: MachineModel,
              on_fused_fallback: Optional[Callable[[], Any]] = None,
              fault_plan=None,
              watchdog: Optional[float] = None,
+             trace: Optional[bool] = None,
              **kwargs: Any) -> SpmdResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` simulated ranks.
 
@@ -147,23 +164,40 @@ def run_spmd(nprocs: int, machine: MachineModel,
     :class:`~repro.errors.SpmdWatchdogError` if it exceeds that much
     *host* wall-clock time — the safety net that keeps the free-running
     ``threads`` backend from hanging CI.  See docs/RESILIENCE.md.
+
+    ``trace`` (default ``$REPRO_TRACE``) records a deterministic
+    :class:`~repro.trace.WorldTrace` of the run, returned on
+    ``SpmdResult.trace``.  See docs/OBSERVABILITY.md.
     """
     backend = resolve_backend(backend)
     plan = resolve_fault_plan(fault_plan)
     watchdog = resolve_watchdog(watchdog)
+    tracing = resolve_trace(trace)
+
+    def new_trace():
+        from ..trace import WorldTrace
+
+        wt = WorldTrace(nprocs)
+        wt.meta.update(backend=backend, machine=machine.name,
+                       nprocs=nprocs)
+        return wt
+
     if backend == "fused":
+        world_trace = new_trace() if tracing else None
         try:
             comm = FusedComm(nprocs, machine,  # validates nprocs/machine
-                             fault_plan=plan)
+                             fault_plan=plan, trace=world_trace)
             result = fn(comm, *args, **kwargs)
         except FusionDivergence:
             # rank-dependent program — or a chaos plan, whose fault
             # schedule is inherently rank-dependent: re-run honestly
+            # (with a fresh trace; the aborted fused pass is discarded
+            # along with its World)
             if on_fused_fallback is not None:
                 on_fused_fallback()
             return run_spmd(nprocs, machine, fn, *args,
                             backend="lockstep", fault_plan=plan,
-                            watchdog=watchdog, **kwargs)
+                            watchdog=watchdog, trace=tracing, **kwargs)
         except MpiError:
             raise  # substrate diagnostics keep their structured type
         except BaseException as exc:  # noqa: BLE001 - parity with lockstep
@@ -179,10 +213,14 @@ def run_spmd(nprocs: int, machine: MachineModel,
             collectives=world.collectives,
             collective_counts=dict(world.collective_counts),
             backend="fused",
+            trace=world_trace,
         )
     scheduler = LockstepScheduler(nprocs) if backend == "lockstep" else None
-    world = World(nprocs, machine, scheduler=scheduler, fault_plan=plan)
+    world_trace = new_trace() if tracing else None
+    world = World(nprocs, machine, scheduler=scheduler, fault_plan=plan,
+                  trace=world_trace)
     if scheduler is not None:
+        scheduler.trace = world_trace
         scheduler.on_deadlock = world.abort
         if world.virtual_timeout is not None:
             timeout = world.virtual_timeout
@@ -292,4 +330,5 @@ def run_spmd(nprocs: int, machine: MachineModel,
         backend=backend,
         fault_events=world.faults.events if world.faults is not None
         else [],
+        trace=world_trace,
     )

@@ -392,6 +392,9 @@ class FaultState:
         # per-rank, per-rule fire counter (rules actually applied)
         self._fired = [[0] * len(plan.rules) for _ in range(nprocs)]
         self._events: list[list[str]] = [[] for _ in range(nprocs)]
+        #: optional ``(rank, text, now)`` callback mirroring every logged
+        #: fault into a trace recorder (wired by ``World`` when tracing)
+        self.sink = None
 
     # -- decision core --------------------------------------------------- #
 
@@ -415,8 +418,10 @@ class FaultState:
         self._fired[rank][rule_idx] += 1
         return True
 
-    def _log(self, rank: int, text: str) -> None:
+    def _log(self, rank: int, text: str, now: float = 0.0) -> None:
         self._events[rank].append(text)
+        if self.sink is not None:
+            self.sink(rank, text, now)
 
     # -- hooks ----------------------------------------------------------- #
 
@@ -429,7 +434,7 @@ class FaultState:
             if self._should_fire(idx, rule, rank):
                 n = self._seen[rank][idx]
                 self._log(rank, f"crash rank={rank} op={op} "
-                                f"occurrence={n}")
+                                f"occurrence={n}", now)
                 raise RankCrashedError(
                     f"fault plan: rank {rank} crashed at {op} "
                     f"(occurrence {n}, virtual t={now:.9g})")
@@ -449,24 +454,24 @@ class FaultState:
                 continue
             if rule.kind == "drop":
                 fate.deliver = False
-                self._log(src, f"drop {where} ({nbytes} B)")
+                self._log(src, f"drop {where} ({nbytes} B)", now)
                 return fate
             if rule.kind == "delay":
                 fate.extra_delay += rule.delay
-                self._log(src, f"delay {where} by={rule.delay:g}")
+                self._log(src, f"delay {where} by={rule.delay:g}", now)
             elif rule.kind == "duplicate":
                 fate.copies += 1
-                self._log(src, f"duplicate {where}")
+                self._log(src, f"duplicate {where}", now)
             elif rule.kind == "corrupt":
                 corrupted, ok = corrupt_payload(
                     fate.payload, _hash_int(self.plan.seed, idx, src,
                                             self._seen[src][idx]))
                 if ok:
                     fate.payload = corrupted
-                    self._log(src, f"corrupt {where}")
+                    self._log(src, f"corrupt {where}", now)
                 else:
                     self._log(src, f"corrupt {where} skipped "
-                                   f"(uncorruptible payload)")
+                                   f"(uncorruptible payload)", now)
         return fate
 
     @property

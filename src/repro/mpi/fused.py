@@ -107,7 +107,7 @@ class FusedComm:
     is_fused = True
 
     def __init__(self, nprocs: int, machine: MachineModel,
-                 fault_plan=None):
+                 fault_plan=None, trace=None):
         if fault_plan is not None and fault_plan.has_faults:
             # fault schedules are per-rank by construction; a single
             # fused pass cannot honor them — fall back to lockstep
@@ -116,9 +116,12 @@ class FusedComm:
                 "back to lockstep")
         # World doubles as the stats/clocks container so SpmdResult and
         # compiler instrumentation read the same fields on every backend
-        self.world = World(nprocs, machine, fault_plan=fault_plan)
+        self.world = World(nprocs, machine, fault_plan=fault_plan,
+                           trace=trace)
         self.size = nprocs
         self.machine = machine
+        self.line = 0
+        self._recs = None if trace is None else trace.recorders
 
     # -- identity --------------------------------------------------------- #
 
@@ -147,14 +150,43 @@ class FusedComm:
             raise FusionDivergence("cannot advance the clock backwards")
         for r in range(self.size):
             self.world.clocks[r] += dt
+        if self._recs is not None:
+            line = self.line
+            for rec in self._recs:
+                rec.charge(line, dt)
 
     def compute(self, flops: int = 0, elems: int = 0, mem: int = 0) -> None:
         """Identical local computation on every rank."""
-        self.advance(self.machine.compute_time(
-            flops=flops, elems=elems, mem=mem, active_cpus=self.size))
+        dt = self.machine.compute_time(
+            flops=flops, elems=elems, mem=mem, active_cpus=self.size)
+        if self._recs is not None and dt > 0.0:
+            clocks = self.world.clocks
+            line = self.line
+            for r, rec in enumerate(self._recs):
+                rec.compute(line, clocks[r], dt)
+        self.advance(dt)
 
     def overhead(self, calls: int = 1) -> None:
+        if self._recs is not None:
+            line = self.line
+            for rec in self._recs:
+                rec.calls(line, calls)
         self.advance(calls * self.machine.cpu.call_overhead)
+
+    def trace_suspend(self):
+        """Pause recording (instrumentation-only work); returns a token
+        for :meth:`trace_resume`."""
+        token = self._recs
+        self._recs = None
+        return token
+
+    def trace_resume(self, token) -> None:
+        self._recs = token
+
+    def trace_io(self, nbytes: int) -> None:
+        if self._recs is not None:
+            # output happens on rank 0 on every backend
+            self._recs[0].io(self.line, self.world.clocks[0], nbytes)
 
     def compute_ranks(self, flops: Optional[Sequence[int]] = None,
                       elems: Optional[Sequence[int]] = None,
@@ -165,6 +197,8 @@ class FusedComm:
         model is evaluated O(1) times and the result memoized per charge.
         """
         clocks = self.world.clocks
+        recs = self._recs
+        line = self.line
         memo: dict = {}
         for r in range(self.size):
             key = (flops[r] if flops is not None else 0,
@@ -176,19 +210,28 @@ class FusedComm:
                     flops=key[0], elems=key[1], mem=key[2],
                     active_cpus=self.size)
                 memo[key] = dt
+            if recs is not None:
+                if dt > 0.0:
+                    recs[r].compute(line, clocks[r], dt)
+                recs[r].charge(line, dt)
             clocks[r] += dt
 
     # -- collective accounting -------------------------------------------- #
 
-    def _sync_cost(self, op: str, cost: float) -> None:
+    def _sync_cost(self, op: str, cost: float, nbytes: int = 0) -> None:
         """One rendezvous: all clocks meet at max + cost (exactly what
         ``World._run_combine`` + the per-rank ``max`` does), and the
         collective tallies advance."""
         w = self.world
-        tnew = max(w.clocks) + cost
+        pre = list(w.clocks)
+        tnew = max(pre) + cost
         w.clocks[:] = [tnew] * self.size
         w.collectives += 1
         w._count(op)
+        if self._recs is not None:
+            line = self.line
+            for r, rec in enumerate(self._recs):
+                rec.collective(op, line, pre[r], tnew - pre[r], nbytes)
 
     def charge_barrier(self) -> None:
         self._sync_cost("barrier", self.machine.collective_time(
@@ -197,31 +240,37 @@ class FusedComm:
     def charge_bcast(self, nbytes: int) -> None:
         if self.size == 1:
             self.world._count("bcast")
+            if self._recs is not None:
+                self._recs[0].collective("bcast", self.line,
+                                         self.world.clocks[0], 0.0, nbytes)
             return
         self._sync_cost("bcast", self.machine.collective_time(
-            "bcast", nbytes, self.size))
+            "bcast", nbytes, self.size), nbytes)
 
     def charge_reduce(self, nbytes: int, kind: str = "allreduce") -> None:
         if self.size == 1:
             self.world._count(kind)
+            if self._recs is not None:
+                self._recs[0].collective(kind, self.line,
+                                         self.world.clocks[0], 0.0, nbytes)
             return
         cost = self.machine.collective_time(kind, nbytes, self.size)
         cost += int(np.ceil(np.log2(self.size))) * (nbytes / 8.0) \
             * self.machine.cpu.elem_time
-        self._sync_cost(kind, cost)
+        self._sync_cost(kind, cost, nbytes)
 
     def charge_allgather(self, nbytes: int) -> None:
         self._sync_cost("allgather", self.machine.collective_time(
-            "allgather", nbytes, self.size))
+            "allgather", nbytes, self.size), nbytes)
 
     def charge_alltoall(self, per_nbytes: int) -> None:
         self._sync_cost("alltoall", self.machine.collective_time(
-            "alltoall", per_nbytes, self.size))
+            "alltoall", per_nbytes, self.size), per_nbytes)
 
     def charge_scan(self, nbytes: int) -> None:
         # comm.scan tallies as "scan" but costs like an allreduce
         self._sync_cost("scan", self.machine.collective_time(
-            "allreduce", nbytes, self.size))
+            "allreduce", nbytes, self.size), nbytes)
 
     def ring_exchange(self, nbytes: int, forward: bool) -> None:
         """Accounting for P simultaneous ``sendrecv`` calls with the ring
@@ -241,8 +290,17 @@ class FusedComm:
                 self.machine.link_between(r, dest).latency * 0.5
             w.messages_sent += 1
             w.bytes_sent += nbytes
+            if self._recs is not None:
+                self._recs[r].send(self.line, pre[r],
+                                   w.clocks[r] - pre[r], dest, 0, nbytes)
         for r in range(p):
-            w.clocks[r] = max(w.clocks[r], arrivals[r])
+            me = w.clocks[r]
+            w.clocks[r] = max(me, arrivals[r])
+            if self._recs is not None:
+                source = (r - 1) % p if forward else (r + 1) % p
+                self._recs[r].recv(self.line, me,
+                                   max(0.0, arrivals[r] - me),
+                                   source, 0, nbytes)
 
     # -- replicated collectives ------------------------------------------- #
     # Unbranched (rank-agnostic) runtime code can only ever contribute a

@@ -93,6 +93,9 @@ class LockstepScheduler:
         self.deadlock_factory: Callable[[str], BaseException] = DeadlockError
         #: observability: number of baton handoffs performed
         self.handoffs = 0
+        #: optional :class:`~repro.trace.WorldTrace` receiving advisory
+        #: park notes (host time only; never canonical trace content)
+        self.trace: Optional[Any] = None
 
     # -- lifecycle ------------------------------------------------------ #
 
@@ -135,6 +138,10 @@ class LockstepScheduler:
                 return
             self._state[rank] = BLOCKED
             self._reason[rank] = reason
+            if self.trace is not None:
+                self.trace.sched_note(
+                    rank, reason[0] if isinstance(reason, tuple)
+                    else str(reason))
             if self._current == rank:
                 self._current = None
             self._dispatch_locked()

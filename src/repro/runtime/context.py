@@ -87,6 +87,7 @@ class RuntimeContext:
         """Coordinated output: only rank 0 actually writes."""
         if self.rank == 0:
             self._out(text)
+            self.comm.trace_io(len(text))
 
     @property
     def peak_local_bytes(self) -> int:

@@ -1,0 +1,101 @@
+"""Trace exporters: canonical text, Chrome ``trace_event`` JSON, and
+the compiler-pass timing report.
+
+Canonical output is the determinism contract: it contains only virtual
+state (event order ``(rank, seq)``, virtual timestamps via ``repr`` for
+full float precision) and therefore must be byte-identical run to run
+and — for the event kinds every backend emits identically — across
+backends.  Host timestamps, scheduler notes, and pass timings are
+advisory and appear only in the Chrome export.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from .recorder import WorldTrace
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def canonical_events(trace: WorldTrace) -> str:
+    """Byte-deterministic text serialization of the event stream.
+
+    One line per event, ``(rank, seq)`` order, floats via ``repr``;
+    host time is deliberately absent."""
+    out = []
+    for e in trace.events():
+        args = " ".join(f"{k}={_fmt(v)}" for k, v in sorted(e.args.items()))
+        out.append(f"r{e.rank} #{e.seq} {e.name} cat={e.cat} "
+                   f"line={e.line} t0={e.t0!r} dur={e.dur!r}"
+                   + (f" {args}" if args else ""))
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def chrome_trace(trace: WorldTrace,
+                 pass_timings: Optional[list[tuple[str, float]]] = None
+                 ) -> dict:
+    """A Chrome ``trace_event`` document (open in Perfetto / chrome://
+    tracing).  Rank timelines use the *virtual* clock (µs); the
+    compiler-pass and scheduler tracks carry advisory host timings on
+    separate process ids so they never mix with modeled time."""
+    events: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": 1,
+         "args": {"name": "simulated ranks (virtual time)"}},
+    ]
+    for rank in range(trace.nprocs):
+        events.append({"name": "thread_name", "ph": "M", "pid": 1,
+                       "tid": rank, "args": {"name": f"rank {rank}"}})
+    for e in trace.events():
+        args = dict(e.args)
+        if e.line:
+            args["line"] = e.line
+        events.append({
+            "name": e.name, "cat": e.cat, "ph": "X", "pid": 1,
+            "tid": e.rank, "ts": e.t0 * 1e6, "dur": e.dur * 1e6,
+            "args": args,
+        })
+    if pass_timings:
+        events.append({"name": "process_name", "ph": "M", "pid": 2,
+                       "args": {"name": "compiler passes (host time)"}})
+        ts = 0.0
+        for name, seconds in pass_timings:
+            events.append({"name": name, "cat": "pass", "ph": "X",
+                           "pid": 2, "tid": 0, "ts": ts,
+                           "dur": seconds * 1e6})
+            ts += seconds * 1e6
+    if trace.sched_notes:
+        events.append({"name": "process_name", "ph": "M", "pid": 3,
+                       "args": {"name": "lockstep scheduler (host time)"}})
+        base = trace.sched_notes[0][0]
+        for host, rank, what in trace.sched_notes:
+            events.append({"name": f"park:{what}", "cat": "sched",
+                           "ph": "i", "pid": 3, "tid": rank,
+                           "ts": (host - base) * 1e6, "s": "t"})
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otterMeta": dict(trace.meta)}
+
+
+def write_chrome_trace(trace: WorldTrace, path: str,
+                       pass_timings: Optional[list] = None) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(trace, pass_timings), fh)
+        fh.write("\n")
+
+
+def pass_report(pass_timings: list[tuple[str, float]]) -> str:
+    """Compiler-pass timing table (host seconds; advisory)."""
+    total = sum(seconds for _name, seconds in pass_timings) or 1e-30
+    out = [f"{'pass':<12s} {'time(ms)':>10s} {'%':>6s}",
+           "-" * 31]
+    for name, seconds in pass_timings:
+        out.append(f"{name:<12s} {seconds * 1e3:10.3f} "
+                   f"{100.0 * seconds / total:5.1f}%")
+    out.append("-" * 31)
+    out.append(f"{'total':<12s} {total * 1e3:10.3f} {100.0:5.1f}%")
+    return "\n".join(out)

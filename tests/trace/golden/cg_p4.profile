@@ -1,0 +1,29 @@
+  line    calls    msgs        bytes  colls   time(ms)      %  source
+------------------------------------------------------------------------------
+     1                                                         % Conjugate gradient solver for a positive definite system (n = 64).
+     2                                                         n = 64;
+     3                                                         iters = 8;
+     4                                                         rand('seed', 17);
+     5        3       0            0      0      0.136   1.5%  A = rand(n, n) + n * eye(n);      % strictly diagonally dominant
+     6        1       0            0      0      0.004   0.0%  xtrue = ones(n, 1);
+     7        2       0            0      1      0.288   3.2%  b = A * xtrue;
+     8        1       0            0      0      0.004   0.0%  x = zeros(n, 1);
+     9        3       0            0      1      0.293   3.3%  r = b - A * x;
+    10                                                         p = r;
+    11        1       0            0      1      0.325   3.6%  rsold = r' * r;
+    12                                                         for i = 1:iters
+    13       16       0            0      8      2.307  25.6%      Ap = A * p;
+    14        8       0            0      8      2.602  28.8%      alpha = rsold / (p' * Ap);
+    15        8       0            0      0      0.043   0.5%      x = x + alpha * p;
+    16        8       0            0      0      0.043   0.5%      r = r - alpha * Ap;
+    17        8       0            0      8      2.602  28.8%      rsnew = r' * r;
+    18        8       0            0      0      0.043   0.5%      p = r + (rsnew / rsold) * p;
+    19                                                             rsold = rsnew;
+    20                                                         end
+    21                                                         resid = sqrt(rsold);
+    22        2       0            0      1      0.331   3.7%  err = max(abs(x - xtrue));
+    23                                                         fprintf('cg: n=%d resid=%.3e err=%.3e\n', n, resid, err);
+------------------------------------------------------------------------------
+ total       69       0            0     28      9.021 100.0%  
+elapsed: 0.009020602517482514 virtual seconds
+canonical-sha256: 034c0ab9b764dd98bde124ea43b506dfb72059f85022b39d96cdcb365e6f13f3

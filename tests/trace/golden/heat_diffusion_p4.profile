@@ -1,0 +1,17 @@
+  line    calls    msgs        bytes  colls   time(ms)      %  source
+------------------------------------------------------------------------------
+     1                                                         n = 64;
+     2        1       0            0      0      0.004   0.1%  u = zeros(n, 1);
+     3        1       0            0      0      0.004   0.1%  u(1) = 1.0;
+     4                                                         alpha = 0.1;
+     5                                                         for step = 1:8
+     6        8      32          256      0      0.676  16.8%    left = circshift(u, 1);
+     7        8      32          256      0      0.676  16.8%    right = circshift(u, -1);
+     8        8       0            0      0      0.056   1.4%    u = u + alpha * (left - 2 * u + right);
+     9        8       0            0      8      2.602  64.8%    total = sum(u);
+    10                                                         end
+    11                                                         disp(total);
+------------------------------------------------------------------------------
+ total       34      64          512      8      4.017 100.0%  
+elapsed: 0.004017376969696971 virtual seconds
+canonical-sha256: a3b4b6a09032c79bae43686236b69a87ef83764a3c144d4d0bf778b0892bc139
