@@ -1,0 +1,122 @@
+"""Modeled virtual-clock benchmarks: default plan vs. tuned plan.
+
+Where ``test_wallclock.py`` times the *host*, this module records the
+*modeled* machine: for the heat stencil and the four paper workloads at
+P in {1, 4, 16}, the final virtual clock under the default optimization
+plan and under the plan the autotuner picks, written to
+``BENCH_vclock.json`` at the repo root.
+
+The assertions pin the autotuner's contract:
+
+* the tuned plan never regresses the default at any rank count (the
+  default plan is always candidate 0 of the search);
+* at P = 16 the tuner finds a real improvement (> 1% modeled time) on at
+  least three of the five workloads — the collective-heavy ones; the
+  p2p-dominated stencil legitimately has little to gain;
+* a >= 50-candidate search completes in < 10 s host time per workload —
+  the fused backend makes candidate evaluation cheap enough to sweep.
+"""
+
+import json
+import os
+import time
+
+from test_wallclock import HEAT_SOURCE
+
+from repro.bench.workloads import make_workload
+from repro.mpi import MEIKO_CS2
+from repro.tuning import tune_program
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+JSON_PATH = os.path.join(REPO_ROOT, "BENCH_vclock.json")
+
+NPROCS = (1, 4, 16)
+BUDGET = 64
+WORKLOADS = ("heat", "cg", "ocean", "nbody", "closure")
+
+#: at P = 16, at least this many workloads must improve by > 1%
+MIN_IMPROVED = 3
+
+
+def _sources(scale):
+    out = {"heat": (HEAT_SOURCE, None)}
+    for key in ("cg", "ocean", "nbody", "closure"):
+        w = make_workload(key, scale=scale)
+        out[key] = (w.source, w.provider)
+    return out
+
+
+def test_vclock_default_vs_tuned(scale):
+    """Sweep every workload at every rank count; record and assert.
+
+    The full 64-candidate sweep (and its < 10 s / >= 50-candidate
+    claims) is a small-scale property — that is the scale the fused
+    backend makes nearly free.  At calibration (paper) scale a single
+    candidate evaluation runs the full-size workload, so the sweep is
+    reduced to a budget-16 spot check of the never-regress contract.
+    """
+    if scale != "small":
+        cg = make_workload("cg", scale=scale)
+        tuned = tune_program(cg.source, nprocs=16, machine=MEIKO_CS2,
+                             budget=16, provider=cg.provider, name="cg")
+        assert tuned.improvement >= 0.0
+        _merge_json({"paper_spot": {
+            "workload": "cg", "nprocs": 16, "budget": 16,
+            "default_vclock_ms": round(tuned.default.cost * 1e3, 6),
+            "tuned_vclock_ms": round(tuned.best.cost * 1e3, 6),
+            "improvement_pct": round(100.0 * tuned.improvement, 4),
+            "best_plan": tuned.best.summary,
+        }})
+        return
+
+    entries = {}
+    for key, (source, provider) in _sources(scale).items():
+        per_p = {}
+        for p in NPROCS:
+            t0 = time.perf_counter()
+            tuned = tune_program(source, nprocs=p, machine=MEIKO_CS2,
+                                 budget=BUDGET, provider=provider, name=key)
+            host_s = time.perf_counter() - t0
+            per_p[str(p)] = {
+                "default_vclock_ms": round(tuned.default.cost * 1e3, 6),
+                "tuned_vclock_ms": round(tuned.best.cost * 1e3, 6),
+                "improvement_pct": round(100.0 * tuned.improvement, 4),
+                "best_plan": tuned.best.summary,
+                "candidates": len(tuned.candidates),
+                "search_host_s": round(host_s, 4),
+            }
+            # contract: never regress, and the search itself is cheap
+            assert tuned.improvement >= 0.0, (key, p)
+            assert host_s < 10.0, (key, p, host_s)
+            if p == 16:
+                assert len(tuned.candidates) >= 50, (key, len(tuned.candidates))
+        entries[key] = per_p
+
+    improved = [key for key in WORKLOADS
+                if entries[key]["16"]["improvement_pct"] > 1.0]
+    assert len(improved) >= MIN_IMPROVED, entries
+
+    _merge_json({
+        "machine_model": MEIKO_CS2.name,
+        "scale": scale,
+        "nprocs": list(NPROCS),
+        "budget": BUDGET,
+        "workloads": entries,
+        "improved_at_16": improved,
+    })
+
+
+def _merge_json(section: dict) -> None:
+    """Read-modify-write BENCH_vclock.json (same discipline as
+    ``test_wallclock._merge_into_report``, different file)."""
+    report = {}
+    if os.path.exists(JSON_PATH):
+        try:
+            with open(JSON_PATH) as fh:
+                report = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            report = {}
+    report.update(section)
+    with open(JSON_PATH, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")

@@ -1,0 +1,52 @@
+"""CI tuning smoke: tune heat + cg at P=4 under a small budget.
+
+Run as a script (``PYTHONPATH=src python benchmarks/tuning_smoke.py``).
+Asserts the autotuner's floor — the tuned plan never regresses the
+default — and writes the full plan reports to ``tuning_report.json`` /
+``tuning_report.txt`` for the CI artifact.  Exits non-zero on any
+violation so the job fails loudly.
+"""
+
+import json
+import sys
+
+from test_wallclock import HEAT_SOURCE
+
+from repro.bench.workloads import make_workload
+from repro.mpi.machine import MEIKO_CS2
+from repro.tuning import tune_program
+
+NPROCS = 4
+BUDGET = 32
+
+
+def main() -> int:
+    cg = make_workload("cg", scale="small")
+    jobs = [("heat", HEAT_SOURCE, None), ("cg", cg.source, cg.provider)]
+    payload, text, failures = {}, [], []
+    for name, source, provider in jobs:
+        tuned = tune_program(source, nprocs=NPROCS, machine=MEIKO_CS2,
+                             budget=BUDGET, provider=provider, name=name)
+        payload[name] = tuned.to_json()
+        text.append(tuned.report())
+        text.append("")
+        if tuned.improvement < 0.0:
+            failures.append(f"{name}: tuned plan regressed "
+                            f"({100 * tuned.improvement:+.3f}%)")
+        print(f"[tuning-smoke] {name}: {len(tuned.candidates)} candidates, "
+              f"{100 * tuned.improvement:+.3f}% vclock, "
+              f"best: {tuned.best.summary}")
+
+    with open("tuning_report.json", "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    with open("tuning_report.txt", "w") as fh:
+        fh.write("\n".join(text))
+
+    for failure in failures:
+        print(f"[tuning-smoke] FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,7 @@ Typical use::
 
 from __future__ import annotations
 
+import hashlib
 import time
 import types as _types
 from dataclasses import dataclass, field
@@ -51,6 +52,8 @@ class RunResult:
     spmd: SpmdResult
     #: per-rank high-water mark of local distributed-data bytes
     peak_local_bytes: list[int] = field(default_factory=list)
+    #: the plan-search report when the run was autotuned (``tune=True``)
+    tune: Optional[Any] = None
 
     @property
     def trace(self):
@@ -76,6 +79,11 @@ class CompiledProgram:
     provider: MFileProvider
     #: host seconds spent in each compiler pass: [(name, seconds), ...]
     pass_timings: list[tuple[str, float]] = field(default_factory=list)
+    #: the optimization plan the program was compiled under (None: the
+    #: compiler defaults, which equal repro.tuning.DEFAULT_PLAN)
+    plan: Optional[Any] = None
+    #: original MATLAB source (the autotuner recompiles variants of it)
+    source: str = ""
     _module: Optional[_types.ModuleType] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------ #
@@ -106,7 +114,10 @@ class CompiledProgram:
             backend: str | None = None,
             fault_plan=None,
             watchdog: float | None = None,
-            trace: bool | None = None) -> RunResult:
+            trace: bool | None = None,
+            plan=None,
+            tune: bool | None = None,
+            tune_budget: int | None = None) -> RunResult:
         """Execute on ``nprocs`` simulated ranks of ``machine``.
 
         ``backend`` picks the SPMD execution backend (``"lockstep"``,
@@ -119,8 +130,41 @@ class CompiledProgram:
         :class:`~repro.trace.WorldTrace`, surfaced on
         ``RunResult.trace`` (default ``$REPRO_TRACE``; see
         docs/OBSERVABILITY.md).
+
+        ``plan`` applies a :class:`repro.tuning.Plan`'s *runtime* knobs
+        (distribution, collective algorithms, gather caching) — the
+        compile-side knobs must have been applied at ``compile`` time
+        (see :func:`compile_cached`).  ``tune=True`` (or ``REPRO_TUNE``
+        when ``tune is None``) first searches the plan space on the
+        fused backend, then runs the winner here; the search report
+        lands on ``RunResult.tune`` (see docs/TUNING.md).
         """
+        from .mpi.executor import resolve_tune
         from .mpi.machine import MEIKO_CS2
+
+        budget = resolve_tune(tune, tune_budget)
+        if budget:
+            from .tuning import tune_program
+
+            tuned = tune_program(self.source or "", nprocs=nprocs,
+                                 machine=machine, budget=budget,
+                                 provider=self.provider, seed=seed,
+                                 name=self.name)
+            result = tuned.best_program.run(
+                nprocs=nprocs, machine=machine, seed=seed,
+                backend=backend, fault_plan=fault_plan, watchdog=watchdog,
+                trace=trace, plan=tuned.best.plan, tune=False)
+            result.tune = tuned
+            return result
+
+        plan = plan if plan is not None else self.plan
+        if plan is not None:
+            machine = plan.apply_machine(machine or MEIKO_CS2)
+            scheme = plan.scheme
+            cache_gathers = cache_gathers or plan.cache_gathers
+            dist_plan = dict(plan.dist)
+        else:
+            dist_plan = None
 
         machine = machine or MEIKO_CS2
         main = self._load_module().main
@@ -132,7 +176,8 @@ class CompiledProgram:
         def rank_main(comm):
             rt = RuntimeContext(comm, out=output.append, seed=seed,
                                 scheme=scheme, provider=provider,
-                                cache_gathers=cache_gathers)
+                                cache_gathers=cache_gathers,
+                                dist_plan=dist_plan)
             try:
                 workspace = main(rt)
                 peaks[rt.rank] = rt.peak_local_bytes
@@ -177,16 +222,38 @@ class CompiledProgram:
 
 
 class OtterCompiler:
-    """Front door: compile MATLAB source through all seven passes."""
+    """Front door: compile MATLAB source through all seven passes.
+
+    ``plan`` (a :class:`repro.tuning.Plan`, duck-typed to avoid an import
+    cycle) selects the compile-side knobs: peephole fusion schedule, LICM
+    policy, guard placement, and elementwise splitting.  Without a plan
+    the legacy ``peephole``/``licm`` booleans apply (the shipped
+    defaults, identical to the default plan).
+    """
 
     def __init__(self, provider: MFileProvider | None = None,
-                 peephole: bool = True, licm: bool = True):
+                 peephole: bool = True, licm: bool = True, plan=None):
         self.provider = provider or EMPTY_PROVIDER
         self.peephole = peephole
         self.licm = licm
+        self.plan = plan
 
     def compile(self, source: str, name: str = "script") -> CompiledProgram:
         timings: list[tuple[str, float]] = []
+
+        plan = self.plan
+        if plan is not None:
+            peep_enabled = bool(plan.fusion)
+            peep_schedule = plan.fusion
+            licm_policy = plan.licm
+            guard_placement = plan.guard
+            ew_split = plan.ew_split
+        else:
+            peep_enabled = self.peephole
+            peep_schedule = None
+            licm_policy = "aggressive" if self.licm else "off"
+            guard_placement = "owner"
+            ew_split = False
 
         def timed(pass_name, fn, *args, **kwargs):
             t0 = time.perf_counter()
@@ -198,12 +265,14 @@ class OtterCompiler:
         resolved = timed("resolve", resolve_program,              # pass 2
                          script, self.provider)
         types = timed("infer", infer_types, resolved)             # pass 3
-        ir = timed("lower", lower_program, resolved, types)       # pass 4
-        timed("guard", guard_program, ir)                         # pass 5
+        ir = timed("lower", lower_program, resolved, types,       # pass 4
+                   ew_split=ew_split)
+        timed("guard", guard_program, ir,                         # pass 5
+              placement=guard_placement)
         stats = timed("peephole", peephole_program,               # pass 6
-                      ir, enabled=self.peephole)
+                      ir, enabled=peep_enabled, schedule=peep_schedule)
         licm_stats = timed("licm", licm_program,                  # pass 6b
-                           ir, enabled=self.licm)
+                           ir, policy=licm_policy)
         from .codegen.py_emitter import emit_python               # pass 7
 
         py_source = timed("emit", emit_python, ir)
@@ -217,11 +286,63 @@ class OtterCompiler:
             licm_stats=licm_stats,
             provider=self.provider,
             pass_timings=timings,
+            plan=plan,
+            source=source,
         )
 
 
 def compile_source(source: str, provider: MFileProvider | None = None,
                    peephole: bool = True, licm: bool = True,
-                   name: str = "script") -> CompiledProgram:
+                   name: str = "script", plan=None) -> CompiledProgram:
     """Convenience one-shot compile."""
-    return OtterCompiler(provider, peephole, licm).compile(source, name)
+    return OtterCompiler(provider, peephole, licm, plan=plan) \
+        .compile(source, name)
+
+
+# -------------------------------------------------------------------------- #
+# in-process compile memo (the first step toward the ROADMAP
+# compile-cache service): keyed by source hash + provider + the plan's
+# compile-affecting projection, so the autotuner's candidate sweep pays
+# the seven passes once per *distinct lowering*, not once per candidate.
+# -------------------------------------------------------------------------- #
+
+_COMPILE_MEMO: dict[tuple, CompiledProgram] = {}
+_COMPILE_MEMO_STATS = {"hits": 0, "misses": 0}
+_COMPILE_MEMO_MAX = 256
+
+
+def compile_cached(source: str, provider: MFileProvider | None = None,
+                   name: str = "script", plan=None) -> CompiledProgram:
+    """Memoized :func:`compile_source` (same CompiledProgram object back
+    for the same (source, provider, compile-side plan knobs)).
+
+    Safe to share: a CompiledProgram is immutable after compilation and
+    ``run`` keeps no per-run state on it.  Runtime-only plan knobs
+    (distribution, collective algorithms) deliberately do NOT key the
+    memo — pass the full plan to :meth:`CompiledProgram.run` instead.
+    """
+    src_hash = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    provider_key = None if provider in (None, EMPTY_PROVIDER) \
+        else id(provider)
+    plan_key = None if plan is None else plan.compile_key()
+    key = (src_hash, provider_key, plan_key, name)
+    hit = _COMPILE_MEMO.get(key)
+    if hit is not None:
+        _COMPILE_MEMO_STATS["hits"] += 1
+        return hit
+    _COMPILE_MEMO_STATS["misses"] += 1
+    program = compile_source(source, provider, name=name, plan=plan)
+    if len(_COMPILE_MEMO) >= _COMPILE_MEMO_MAX:
+        _COMPILE_MEMO.pop(next(iter(_COMPILE_MEMO)))
+    _COMPILE_MEMO[key] = program
+    return program
+
+
+def compile_cache_stats() -> dict:
+    return dict(_COMPILE_MEMO_STATS, size=len(_COMPILE_MEMO),
+                maxsize=_COMPILE_MEMO_MAX)
+
+
+def clear_compile_cache() -> None:
+    _COMPILE_MEMO.clear()
+    _COMPILE_MEMO_STATS.update(hits=0, misses=0)

@@ -70,8 +70,24 @@ class _UnitGuard:
                 self.run(stmt.body)
 
 
-def guard_program(ir: IRProgram) -> IRProgram:
-    """Run pass 5 in place (and return the program for chaining)."""
+#: recognized guard placements (an autotuner plan knob)
+PLACEMENTS = ("owner", "replicated")
+
+
+def guard_program(ir: IRProgram, placement: str = "owner") -> IRProgram:
+    """Run pass 5 in place (and return the program for chaining).
+
+    ``placement="owner"`` (default) rewrites qualifying stores into the
+    paper's owner-computes ``SetElement`` guard.  ``"replicated"`` skips
+    the rewrite entirely: element stores stay :class:`IndexAssign` and
+    execute through the run-time's gather-based replicated path — the
+    pre-pass-5 compiler, exposed so the autotuner can measure the guard's
+    value instead of trusting it."""
+    if placement not in PLACEMENTS:
+        raise ValueError(f"unknown guard placement {placement!r}; "
+                         f"choose from {PLACEMENTS}")
+    if placement == "replicated":
+        return ir
     _UnitGuard(ir.var_types).run(ir.body)
     for func in ir.functions.values():
         _UnitGuard(func.var_types).run(func.body)

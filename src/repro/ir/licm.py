@@ -78,45 +78,57 @@ class LicmStats:
     hoisted: int = 0
 
 
-def licm_program(ir: IRProgram, enabled: bool = True) -> LicmStats:
-    """Run pass 6b in place; returns hoist statistics."""
+#: recognized hoisting policies (an autotuner plan knob)
+POLICIES = ("off", "safe", "aggressive")
+
+
+def licm_program(ir: IRProgram, enabled: bool = True,
+                 policy: str = "aggressive") -> LicmStats:
+    """Run pass 6b in place; returns hoist statistics.
+
+    ``policy``: ``off`` disables the pass, ``safe`` hoists only the
+    always-safe metadata ops, ``aggressive`` (default) additionally
+    hoists speculative ops out of loops that provably execute."""
+    if policy not in POLICIES:
+        raise ValueError(f"unknown licm policy {policy!r}; "
+                         f"choose from {POLICIES}")
     stats = LicmStats()
-    if not enabled:
+    if not enabled or policy == "off":
         return stats
-    _walk_block(ir.body, stats)
+    _walk_block(ir.body, stats, policy)
     for func in ir.functions.values():
-        _walk_block(func.body, stats)
+        _walk_block(func.body, stats, policy)
     return stats
 
 
 # -------------------------------------------------------------------------- #
 
 
-def _walk_block(block: list[IRStmt], stats: LicmStats) -> None:
+def _walk_block(block: list[IRStmt], stats: LicmStats, policy: str) -> None:
     i = 0
     while i < len(block):
         stmt = block[i]
         if isinstance(stmt, IRIf):
             for cond_stmts, _c, branch in stmt.branches:
-                _walk_block(cond_stmts, stats)
-                _walk_block(branch, stats)
-            _walk_block(stmt.orelse, stats)
+                _walk_block(cond_stmts, stats, policy)
+                _walk_block(branch, stats, policy)
+            _walk_block(stmt.orelse, stats, policy)
         elif isinstance(stmt, IRWhile):
-            _walk_block(stmt.cond_stmts, stats)
-            _walk_block(stmt.body, stats)
+            _walk_block(stmt.cond_stmts, stats, policy)
+            _walk_block(stmt.body, stats, policy)
             hoisted = _hoist_from_loop(stmt.body, loop_defs=_defs_of_block(
                 stmt.body) | _defs_of_block(stmt.cond_stmts),
-                must_execute=False)
+                must_execute=False, policy=policy)
             block[i:i] = hoisted
             i += len(hoisted)
             stats.hoisted += len(hoisted)
         elif isinstance(stmt, IRFor):
-            _walk_block(stmt.iter_stmts, stats)
-            _walk_block(stmt.body, stats)
+            _walk_block(stmt.iter_stmts, stats, policy)
+            _walk_block(stmt.body, stats, policy)
             defs = _defs_of_block(stmt.body) | {stmt.var.name}
             hoisted = _hoist_from_loop(
                 stmt.body, loop_defs=defs,
-                must_execute=_trip_count_positive(stmt))
+                must_execute=_trip_count_positive(stmt), policy=policy)
             block[i:i] = hoisted
             i += len(hoisted)
             stats.hoisted += len(hoisted)
@@ -184,19 +196,21 @@ def _operand_names(stmt: RTCall) -> set[str]:
 
 
 def _is_hoistable(stmt: IRStmt, loop_defs: set[str],
-                  must_execute: bool) -> bool:
+                  must_execute: bool, policy: str = "aggressive") -> bool:
     if not isinstance(stmt, RTCall) \
             or not isinstance(stmt.dest, (Temp, Var)):
         return False
     if stmt.extra_dests:
         return False
     op = stmt.op
+    speculate = policy == "aggressive"
     if op in _ALWAYS_SAFE:
         allowed = True
     elif op in _SPECULATIVE:
-        allowed = must_execute
+        allowed = must_execute and speculate
     elif op.startswith("builtin:"):
-        allowed = must_execute and op[len("builtin:"):] in _HOISTABLE_BUILTINS
+        allowed = (must_execute and speculate
+                   and op[len("builtin:"):] in _HOISTABLE_BUILTINS)
     else:
         return False
     if not allowed:
@@ -209,7 +223,8 @@ def _is_hoistable(stmt: IRStmt, loop_defs: set[str],
 
 
 def _hoist_from_loop(body: list[IRStmt], loop_defs: set[str],
-                     must_execute: bool) -> list[IRStmt]:
+                     must_execute: bool,
+                     policy: str = "aggressive") -> list[IRStmt]:
     """Remove hoistable statements from the top level of ``body`` and
     return them (in order) for insertion before the loop."""
     hoisted: list[IRStmt] = []
@@ -219,7 +234,7 @@ def _hoist_from_loop(body: list[IRStmt], loop_defs: set[str],
     while i < len(body):
         stmt = body[i]
         if (_is_hoistable(stmt, remaining_defs - defined_by_hoisted,
-                          must_execute)
+                          must_execute, policy)
                 and _defined_once(body, stmt.dest)
                 and not _used_before(body, i, _name(stmt.dest))):
             hoisted.append(stmt)

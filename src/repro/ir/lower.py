@@ -506,6 +506,89 @@ class Lowerer:
             return temp
         raise LoweringError(f"unresolved apply {expr.name!r}", expr.loc)
 
-def lower_program(program: ResolvedProgram, types: ProgramTypes) -> IRProgram:
-    """Run pass 4."""
-    return Lowerer(program, types).lower()
+def lower_program(program: ResolvedProgram, types: ProgramTypes,
+                  ew_split: bool = False) -> IRProgram:
+    """Run pass 4.
+
+    ``ew_split=True`` re-splits the fused elementwise trees into
+    single-operator statements (one temp, one run-time call per operator)
+    — the pre-fusion compiler the paper improves on, exposed as an
+    autotuner ablation knob."""
+    ir = Lowerer(program, types).lower()
+    if ew_split:
+        _split_elementwise(ir)
+    return ir
+
+
+# -------------------------------------------------------------------------- #
+# elementwise-tree splitting (the ew_split plan knob)
+# -------------------------------------------------------------------------- #
+
+
+def _max_temp_index(ir: IRProgram) -> int:
+    top = 0
+
+    def scan(op):
+        nonlocal top
+        if isinstance(op, Temp):
+            top = max(top, op.index)
+        elif isinstance(op, EwNode):
+            for arg in op.args:
+                scan(arg)
+        elif isinstance(op, list):
+            for item in op:
+                scan(item)
+
+    for block in ir.walk():
+        for stmt in block:
+            scan(getattr(stmt, "dest", None))
+            for extra in getattr(stmt, "extra_dests", []) or []:
+                scan(extra)
+            for dest in getattr(stmt, "dests", []) or []:
+                scan(dest)
+            scan(getattr(stmt, "expr", None))
+            for attr in ("args", "subs"):
+                scan(getattr(stmt, attr, None))
+            scan(getattr(stmt, "rhs", None))
+    return top
+
+
+def _split_tree(node: EwExpr, counter: list[int], line: int,
+                pre: list[IRStmt]):
+    """Flatten ``node`` bottom-up: nested EwNodes become their own
+    single-operator Elementwise statements writing fresh temps."""
+    if not isinstance(node, EwNode):
+        return node
+    flat_args = []
+    for arg in node.args:
+        if isinstance(arg, EwNode):
+            inner = _split_tree(arg, counter, line, pre)
+            counter[0] += 1
+            temp = Temp(counter[0])
+            vtype = scalar(BaseType.REAL) if arg.scalar else UNKNOWN
+            stmt = Elementwise(dest=temp, expr=inner, vtype=vtype)
+            stmt.line = line
+            pre.append(stmt)
+            flat_args.append(temp)
+        else:
+            flat_args.append(arg)
+    return EwNode(op=node.op, args=tuple(flat_args), scalar=node.scalar)
+
+
+def _split_elementwise(ir: IRProgram) -> None:
+    counter = [_max_temp_index(ir)]
+    for block in ir.walk():
+        i = 0
+        while i < len(block):
+            stmt = block[i]
+            if (isinstance(stmt, Elementwise)
+                    and isinstance(stmt.expr, EwNode)
+                    and any(isinstance(a, EwNode) for a in stmt.expr.args)):
+                pre: list[IRStmt] = []
+                top = _split_tree(stmt.expr, counter, stmt.line, pre)
+                final = Elementwise(dest=stmt.dest, expr=top,
+                                    vtype=stmt.vtype)
+                final.line = stmt.line
+                block[i:i + 1] = pre + [final]
+                i += len(pre)
+            i += 1

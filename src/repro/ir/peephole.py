@@ -45,14 +45,32 @@ class PeepholeStats:
     cse_removed: int = 0
 
 
-def peephole_program(ir: IRProgram, enabled: bool = True) -> PeepholeStats:
-    """Run pass 6 in place; returns rewrite statistics."""
+#: the default rewrite schedule (order matters: fusing first exposes the
+#: CSE pass to the post-rewrite call sequence)
+REWRITES = ("transpose_matmul", "cse")
+
+
+def peephole_program(ir: IRProgram, enabled: bool = True,
+                     schedule: tuple[str, ...] | None = None) -> PeepholeStats:
+    """Run pass 6 in place; returns rewrite statistics.
+
+    ``schedule`` is an ordered subset of :data:`REWRITES` (an autotuner
+    plan knob); ``None`` means the full default order, ``()`` disables
+    the pass just like ``enabled=False``."""
     stats = PeepholeStats()
     if not enabled:
         return stats
+    schedule = REWRITES if schedule is None else tuple(schedule)
+    for rewrite in schedule:
+        if rewrite not in REWRITES:
+            raise ValueError(f"unknown peephole rewrite {rewrite!r}; "
+                             f"choose from {REWRITES}")
     for block in ir.walk():
-        _fuse_transpose_matmul(block, stats)
-        _local_cse(block, stats)
+        for rewrite in schedule:
+            if rewrite == "transpose_matmul":
+                _fuse_transpose_matmul(block, stats)
+            else:
+                _local_cse(block, stats)
     return stats
 
 

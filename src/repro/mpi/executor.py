@@ -65,6 +65,13 @@ WATCHDOG_ENV_VAR = "REPRO_WATCHDOG_SECONDS"
 #: docs/OBSERVABILITY.md)
 TRACE_ENV_VAR = "REPRO_TRACE"
 
+#: environment default for plan autotuning ("0"/"" off, "1"/other truthy
+#: on with the default candidate budget, an integer sets the budget)
+TUNE_ENV_VAR = "REPRO_TUNE"
+
+#: candidate budget used when tuning is enabled without an explicit one
+DEFAULT_TUNE_BUDGET = 64
+
 #: after an abort, give wedged carrier threads this long to unwind
 #: before abandoning them (they are daemons; the process stays healthy)
 _TEARDOWN_GRACE = 5.0
@@ -96,6 +103,30 @@ def resolve_trace(trace: Optional[bool] = None) -> bool:
         return bool(trace)
     raw = os.environ.get(TRACE_ENV_VAR)
     return bool(raw) and raw != "0"
+
+
+def resolve_tune(tune: Optional[bool] = None,
+                 budget: Optional[int] = None) -> Optional[int]:
+    """Decide the autotuning candidate budget (None: tuning off).
+
+    ``tune=True`` enables with ``budget`` (or the default);
+    ``tune=False`` disables regardless of the environment;
+    ``tune=None`` consults ``$REPRO_TUNE``.
+    """
+    if tune is False:
+        return None
+    if tune:
+        return int(budget) if budget else DEFAULT_TUNE_BUDGET
+    raw = os.environ.get(TUNE_ENV_VAR, "")
+    if not raw or raw == "0":
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return int(budget) if budget else DEFAULT_TUNE_BUDGET
+    if value <= 0:
+        return None
+    return value
 
 
 def resolve_watchdog(watchdog: Optional[float] = None) -> Optional[float]:

@@ -88,8 +88,22 @@ class MachineModel:
     # era-plausible 1997 values.  Backs the paper's Section 7 claim that
     # parallel machines solve problems no single workstation can hold.
     memory_per_cpu: int = 128 * 1024 * 1024
+    # Collective algorithm selection (the autotuner's communication axis).
+    # Defaults model the run-time library the paper benchmarked: ring /
+    # sequential-root gathers and a binomial reduce+bcast allreduce.
+    # ``doubling`` (recursive doubling, log2(P) latency terms) and
+    # ``halving`` (Rabenseifner reduce-scatter + allgather) are the
+    # textbook replacements a later library generation would ship.
+    gather_algo: str = "ring"        # ring | doubling
+    allreduce_algo: str = "tree"     # tree | halving
 
     def __post_init__(self) -> None:
+        if self.gather_algo not in ("ring", "doubling"):
+            raise ValueError(f"gather_algo must be 'ring' or 'doubling' "
+                             f"(got {self.gather_algo!r})")
+        if self.allreduce_algo not in ("tree", "halving"):
+            raise ValueError(f"allreduce_algo must be 'tree' or 'halving' "
+                             f"(got {self.allreduce_algo!r})")
         if self.max_cpus < 1:
             raise ValueError(f"max_cpus must be >= 1 "
                              f"(got {self.max_cpus!r})")
@@ -192,10 +206,23 @@ class MachineModel:
         if op in ("bcast", "reduce"):
             return stages * per_msg
         if op == "allreduce":
-            return 2 * stages * per_msg if nbytes > 0 else stages * link.latency
+            if nbytes <= 0:
+                return stages * link.latency
+            if self.allreduce_algo == "halving":
+                # Rabenseifner: reduce-scatter + allgather, each log2(P)
+                # stages, moving ~2*(P-1)/P of the payload in total
+                return 2 * (stages * link.latency
+                            + (nprocs - 1) * nbytes / (nprocs * bandwidth))
+            return 2 * stages * per_msg
         if op == "barrier":
             return 2 * stages * link.latency
         if op in ("gather", "scatter", "allgather", "alltoall"):
+            if self.gather_algo == "doubling" and op != "alltoall":
+                # recursive doubling: log2(P) rounds of exponentially
+                # growing payloads — same (P-1)*nbytes wire volume, only
+                # log2(P) latency terms (alltoall is personalized and
+                # keeps the ring schedule)
+                return stages * link.latency + (nprocs - 1) * nbytes / bandwidth
             # ring / sequential-root algorithms: (P-1) messages of the
             # per-rank contribution
             return (nprocs - 1) * per_msg

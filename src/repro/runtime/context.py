@@ -39,7 +39,7 @@ class RuntimeContext:
 
     def __init__(self, comm: Comm, out: Optional[Callable[[str], None]] = None,
                  seed: int = 0, scheme: str = "block", provider=None,
-                 cache_gathers: bool = False):
+                 cache_gathers: bool = False, dist_plan=None):
         self.comm = comm
         #: under the ``fused`` backend one pass carries all ranks; rank 0
         #: stands in wherever a single identity is needed (I/O coordination)
@@ -47,6 +47,12 @@ class RuntimeContext:
         self.rank = 0 if self.fused else comm.rank
         self.size = comm.size
         self.scheme = scheme
+        #: per-array distribution overrides ({name: scheme}, an autotuner
+        #: plan knob); consulted at creation sites via ``dest_hint``,
+        #: which the emitted code sets to the destination variable's name
+        #: just before each creation call
+        self.dist_plan: dict[str, str] = dict(dist_plan) if dist_plan else {}
+        self.dest_hint: Optional[str] = None
         self.provider = provider
         #: replicate-on-first-use: memoize gathered full arrays on the
         #: (immutable) DMatrix so repeated gathers of the same value cost
@@ -139,16 +145,26 @@ class RuntimeContext:
     # distribution / gathering
     # ------------------------------------------------------------------ #
 
-    def distribute_full(self, full: np.ndarray) -> RValue:
+    def distribute_full(self, full: np.ndarray, scheme: str | None = None
+                        ) -> RValue:
         """Distribute a replicated full array (no communication charged:
         every rank already holds it)."""
         full = V.as_matrix(full)
         if full.size == 1:
             return V.simplify(full)
+        scheme = scheme or self.scheme
         if self.fused:
             return FusedDMatrix(full.shape[0], full.shape[1], full.dtype,
-                                full, self.size, self.scheme)
-        return DMatrix.from_full(full, self.size, self.rank, self.scheme)
+                                full, self.size, scheme)
+        return DMatrix.from_full(full, self.size, self.rank, scheme)
+
+    def realign(self, value: RValue, scheme: str) -> RValue:
+        """Redistribute ``value`` to ``scheme`` (identity if it already
+        matches).  Costs one honest allgather — the safety net that makes
+        a mixed-scheme plan merely expensive instead of wrong."""
+        if not isinstance(value, DMatrix) or value.scheme == scheme:
+            return value
+        return self.distribute_full(self.gather_full(value), scheme=scheme)
 
     def gather_full(self, value: RValue, charge: bool = True) -> np.ndarray:
         """Assemble the full array on every rank (ML-level allgather).
@@ -207,18 +223,26 @@ class RuntimeContext:
         if rows * cols <= 1:
             return V.simplify(np.asarray(full).reshape(rows, cols)
                               if rows * cols else np.zeros((rows, cols)))
+        scheme = self._creation_scheme()
         if self.fused:
             full = np.asarray(full)
             mat = FusedDMatrix(rows, cols, full.dtype, full, self.size,
-                               self.scheme)
+                               scheme)
             self.comm.overhead()
             self.comm.compute_ranks(mem=mat.rank_counts())
             return mat
         mat = DMatrix.from_full(np.asarray(full), self.size, self.rank,
-                                self.scheme)
+                                scheme)
         self.comm.overhead()
         self.comm.compute(mem=mat.local_count())
         return mat
+
+    def _creation_scheme(self) -> str:
+        """Distribution scheme for the array being created: the per-array
+        plan override for the current destination hint, else the default."""
+        if self.dist_plan and self.dest_hint is not None:
+            return self.dist_plan.get(self.dest_hint, self.scheme)
+        return self.scheme
 
     def zeros(self, rows: RValue = 1.0, cols: RValue | None = None) -> RValue:
         r = self.int_scalar(rows, "zeros")
@@ -292,12 +316,13 @@ class RuntimeContext:
         full = np.vstack(blocks)
         if full.size <= 1:
             return V.simplify(full)
+        scheme = self._creation_scheme()
         if self.fused:
             mat = FusedDMatrix(full.shape[0], full.shape[1], full.dtype,
-                               full, self.size, self.scheme)
+                               full, self.size, scheme)
             self.comm.compute_ranks(mem=mat.rank_counts())
             return mat
-        mat = DMatrix.from_full(full, self.size, self.rank, self.scheme)
+        mat = DMatrix.from_full(full, self.size, self.rank, scheme)
         self.comm.compute(mem=mat.local_count())
         return mat
 
@@ -545,6 +570,14 @@ class RuntimeContext:
             if d.shape != shape:
                 raise MatlabRuntimeError(
                     f"matrix dimensions must agree ({shape} vs {d.shape})")
+        if any(d.scheme != dists[0].scheme for d in dists[1:]):
+            # mixed distributions (a per-array plan choice): realign to
+            # the first operand's scheme, paying the gather honestly
+            scheme = dists[0].scheme
+            operands = tuple(self.realign(op, scheme)
+                             if isinstance(op, DMatrix) else op
+                             for op in operands)
+            dists = [op for op in operands if isinstance(op, DMatrix)]
         if isinstance(dists[0], FusedDMatrix):
             # one full-array pass — bitwise identical to the per-block
             # calls (elementwise ufuncs are position-independent)

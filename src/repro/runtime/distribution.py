@@ -159,28 +159,94 @@ class CyclicMap:
 # the same few geometries thousands of times (every DMatrix builds one),
 # so both the instances and their O(nprocs) count/start tables are
 # shared process-wide.
+#
+# The cache size is configurable (REPRO_MAP_CACHE_SIZE or
+# ``configure_map_cache``): a multi-thousand-candidate autotuning search
+# sweeps many (n, nprocs) geometries and must not thrash a small LRU.
+
+DEFAULT_MAP_CACHE_SIZE = 65536
 
 
-@lru_cache(maxsize=4096)
-def get_map(scheme: str, n: int, nprocs: int):
-    """Shared BlockMap/CyclicMap instance for this geometry."""
+def _env_cache_size() -> int:
+    import os
+
+    raw = os.environ.get("REPRO_MAP_CACHE_SIZE", "")
+    try:
+        size = int(raw)
+        return size if size > 0 else DEFAULT_MAP_CACHE_SIZE
+    except ValueError:
+        return DEFAULT_MAP_CACHE_SIZE
+
+
+def _get_map_raw(scheme: str, n: int, nprocs: int):
     return (BlockMap(n, nprocs) if scheme == "block"
             else CyclicMap(n, nprocs))
 
 
-@lru_cache(maxsize=4096)
-def _block_counts(n: int, nprocs: int) -> tuple[int, ...]:
+def _block_counts_raw(n: int, nprocs: int) -> tuple[int, ...]:
     m = get_map("block", n, nprocs)
     return tuple(m.count(r) for r in range(nprocs))
 
 
-@lru_cache(maxsize=4096)
-def _block_starts(n: int, nprocs: int) -> tuple[int, ...]:
+def _block_starts_raw(n: int, nprocs: int) -> tuple[int, ...]:
     m = get_map("block", n, nprocs)
     return tuple(m.start(r) for r in range(nprocs))
 
 
-@lru_cache(maxsize=4096)
-def _cyclic_counts(n: int, nprocs: int) -> tuple[int, ...]:
+def _cyclic_counts_raw(n: int, nprocs: int) -> tuple[int, ...]:
     m = get_map("cyclic", n, nprocs)
     return tuple(m.count(r) for r in range(nprocs))
+
+
+_CACHES: dict[str, object] = {}
+
+
+def configure_map_cache(maxsize: int | None = None) -> int:
+    """(Re)build the geometry caches with ``maxsize`` entries each
+    (default: REPRO_MAP_CACHE_SIZE or 65536).  Returns the size in
+    effect.  Existing cached entries are discarded."""
+    global _get_map_c, _block_counts_c, _block_starts_c, _cyclic_counts_c
+    size = maxsize if maxsize and maxsize > 0 else _env_cache_size()
+    _get_map_c = lru_cache(maxsize=size)(_get_map_raw)
+    _block_counts_c = lru_cache(maxsize=size)(_block_counts_raw)
+    _block_starts_c = lru_cache(maxsize=size)(_block_starts_raw)
+    _cyclic_counts_c = lru_cache(maxsize=size)(_cyclic_counts_raw)
+    _CACHES.clear()
+    _CACHES.update(get_map=_get_map_c, block_counts=_block_counts_c,
+                   block_starts=_block_starts_c,
+                   cyclic_counts=_cyclic_counts_c)
+    return size
+
+
+def map_cache_stats() -> dict:
+    """Aggregate + per-cache hit/miss counters (what the autotuner
+    asserts on to prove the search isn't thrashing the geometry LRU)."""
+    per = {name: cache.cache_info()._asdict()
+           for name, cache in _CACHES.items()}
+    return {
+        "hits": sum(info["hits"] for info in per.values()),
+        "misses": sum(info["misses"] for info in per.values()),
+        "currsize": sum(info["currsize"] for info in per.values()),
+        "maxsize": next(iter(per.values()))["maxsize"],
+        "per_cache": per,
+    }
+
+
+configure_map_cache()
+
+
+def get_map(scheme: str, n: int, nprocs: int):
+    """Shared BlockMap/CyclicMap instance for this geometry."""
+    return _get_map_c(scheme, n, nprocs)
+
+
+def _block_counts(n: int, nprocs: int) -> tuple[int, ...]:
+    return _block_counts_c(n, nprocs)
+
+
+def _block_starts(n: int, nprocs: int) -> tuple[int, ...]:
+    return _block_starts_c(n, nprocs)
+
+
+def _cyclic_counts(n: int, nprocs: int) -> tuple[int, ...]:
+    return _cyclic_counts_c(n, nprocs)

@@ -80,6 +80,9 @@ def matmul(rt, a: RValue, b: RValue) -> RValue:
 
 def dot(rt, a: RValue, b: RValue) -> RValue:
     """(1 x k) * (k x 1): local partial + allreduce (ML_dot)."""
+    if (isinstance(a, DMatrix) and isinstance(b, DMatrix)
+            and a.scheme != b.scheme):
+        b = rt.realign(b, a.scheme)
     if isinstance(a, FusedDMatrix) and isinstance(b, FusedDMatrix):
         cplx = np.iscomplexobj(a.full) or np.iscomplexobj(b.full)
         parts = [complex(np.dot(av, bv)) if cplx else float(np.dot(av, bv))
@@ -90,7 +93,7 @@ def dot(rt, a: RValue, b: RValue) -> RValue:
         return _fold(parts)
     if isinstance(a, DMatrix) and isinstance(b, DMatrix):
         av, bv = a.local, b.local
-        if av.shape != bv.shape:  # differing schemes can't happen (same rt)
+        if av.shape != bv.shape:  # schemes already realigned above
             raise MatlabRuntimeError("dot: inconsistent distributions")
         partial = np.dot(av, bv)
         rt.comm.overhead()
@@ -117,12 +120,12 @@ def outer(rt, a: RValue, b: RValue) -> RValue:
         counts = [c * n for c in a.map.counts()]
         rt.comm.overhead()
         rt.comm.compute_ranks(flops=counts, mem=counts)
-        return FusedDMatrix(m, n, out.dtype, out, rt.size, rt.scheme)
+        return FusedDMatrix(m, n, out.dtype, out, rt.size, a.scheme)
     if isinstance(a, DMatrix):
         local = np.outer(a.local, b_full)
         rt.comm.overhead()
         rt.comm.compute(flops=local.size, mem=local.size)
-        return DMatrix(m, n, local.dtype, local, rt.size, rt.rank, rt.scheme)
+        return DMatrix(m, n, local.dtype, local, rt.size, rt.rank, a.scheme)
     full = np.outer(_as_full(rt, a).reshape(-1), b_full)
     rt.comm.compute(flops=full.size, mem=full.size)
     return rt.distribute_full(full)
@@ -143,7 +146,7 @@ def matvec(rt, a: RValue, x: RValue) -> RValue:
         rt.comm.overhead()
         rt.comm.compute_ranks(flops=[2 * c for c in a.rank_counts()])
         return FusedDMatrix(m, 1, y.dtype, y.reshape(-1, 1),
-                            rt.size, rt.scheme)
+                            rt.size, a.scheme)
     if isinstance(a, DMatrix) and not a.is_vector:
         x_full = _as_full(rt, x).reshape(-1)
         y_local = a.local @ x_full
@@ -154,13 +157,10 @@ def matvec(rt, a: RValue, x: RValue) -> RValue:
             return V.simplify(np.asarray(y_local).reshape(1, 1)) \
                 if y_local.size == 1 else rt.distribute_full(
                     np.asarray(y_local).reshape(1, -1))
-        if rt.scheme == "block":
-            # row blocks of A coincide with element blocks of y
-            return DMatrix(m, 1, y_local.dtype, np.asarray(y_local),
-                           rt.size, rt.rank, rt.scheme)
-        # cyclic rows: same index sets as cyclic vector elements
+        # row blocks/cycles of A coincide with the element partition of y
+        # under A's own scheme, so y inherits it
         return DMatrix(m, 1, y_local.dtype, np.asarray(y_local),
-                       rt.size, rt.rank, rt.scheme)
+                       rt.size, rt.rank, a.scheme)
     full = _as_full(rt, a) @ _as_full(rt, x)
     rt.comm.compute(flops=2 * _as_full(rt, a).size)
     return rt.distribute_full(full) if full.size > 1 else V.simplify(full)
@@ -214,14 +214,14 @@ def _matmat(rt, a: RValue, b: RValue) -> RValue:
         rt.comm.overhead()
         rt.comm.compute_ranks(
             flops=[2 * c * n for c in a.rank_counts()])
-        return FusedDMatrix(a.rows, n, full.dtype, full, rt.size, rt.scheme)
+        return FusedDMatrix(a.rows, n, full.dtype, full, rt.size, a.scheme)
     if isinstance(a, DMatrix) and not a.is_vector:
         local = a.local @ b_full
         rt.comm.overhead()
         rt.comm.compute(flops=2 * a.local.shape[0] * a.local.shape[1]
                         * b_full.shape[1])
         return DMatrix(a.rows, b_full.shape[1], local.dtype, local,
-                       rt.size, rt.rank, rt.scheme)
+                       rt.size, rt.rank, a.scheme)
     a_full = _as_full(rt, a)
     rt.comm.compute(flops=2 * a_full.shape[0] * a_full.shape[1]
                     * b_full.shape[1] // max(rt.size, 1))
@@ -242,13 +242,13 @@ def transpose(rt, a: RValue, conjugate: bool = True) -> RValue:
             rt.comm.overhead()
             return FusedDMatrix(a.cols, a.rows, full.dtype,
                                 np.ascontiguousarray(full.T).copy(),
-                                rt.size, rt.scheme)
+                                rt.size, a.scheme)
         # both orientations share the element-block layout: free relabel
         local = a.local.conj() if (conjugate and np.iscomplexobj(a.local)) \
             else a.local
         rt.comm.overhead()
         return DMatrix(a.cols, a.rows, local.dtype, local.copy(),
-                       rt.size, rt.rank, rt.scheme)
+                       rt.size, rt.rank, a.scheme)
     full = rt.gather_full(a)
     out = full.conj().T if conjugate else full.T
     rt.comm.compute(mem=out.size)
@@ -314,6 +314,9 @@ def matmul_t(rt, a: RValue, b: RValue, conjugate: bool = True) -> RValue:
     with no transpose materialization and no allgather.  For column
     vectors this degenerates to ML_dot.
     """
+    if (isinstance(a, DMatrix) and isinstance(b, DMatrix)
+            and a.scheme != b.scheme):
+        b = rt.realign(b, a.scheme)
     a_shape = rt.shape_of(a)
     b_shape = rt.shape_of(b)
     if a_shape == (1, 1) or b_shape == (1, 1):

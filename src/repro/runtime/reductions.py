@@ -146,7 +146,7 @@ def _row_reduce(rt, mat: DMatrix, local_fn):
         if mat.rows == 1:
             return V.simplify(y.reshape(1, 1))
         return FusedDMatrix(mat.rows, 1, y.dtype, y.reshape(-1, 1),
-                            rt.size, rt.scheme)
+                            rt.size, mat.scheme)
     if mat.local.size:
         part = np.asarray(local_fn(mat.local, axis=1))
     else:
@@ -156,7 +156,7 @@ def _row_reduce(rt, mat: DMatrix, local_fn):
     if mat.rows == 1:
         return V.simplify(part.reshape(1, 1))
     return DMatrix(mat.rows, 1, part.dtype, part, rt.size, rt.rank,
-                   rt.scheme)
+                   mat.scheme)
 
 
 def mean(rt, value: RValue, dim: int | None = None) -> RValue:

@@ -88,8 +88,13 @@ def write_chrome_trace(trace: WorldTrace, path: str,
         fh.write("\n")
 
 
-def pass_report(pass_timings: list[tuple[str, float]]) -> str:
-    """Compiler-pass timing table (host seconds; advisory)."""
+def pass_report(pass_timings: list[tuple[str, float]],
+                tune=None) -> str:
+    """Compiler-pass timing table (host seconds; advisory).
+
+    ``tune`` is an optional :class:`repro.tuning.TuneResult`; when given,
+    the plan search's per-candidate cost table and winning plan are
+    appended, so a tuned run's trace summary tells the whole story."""
     total = sum(seconds for _name, seconds in pass_timings) or 1e-30
     out = [f"{'pass':<12s} {'time(ms)':>10s} {'%':>6s}",
            "-" * 31]
@@ -98,4 +103,7 @@ def pass_report(pass_timings: list[tuple[str, float]]) -> str:
                    f"{100.0 * seconds / total:5.1f}%")
     out.append("-" * 31)
     out.append(f"{'total':<12s} {total * 1e3:10.3f} {100.0:5.1f}%")
+    if tune is not None:
+        out.append("")
+        out.append(tune.report())
     return "\n".join(out)

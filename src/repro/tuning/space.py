@@ -1,0 +1,282 @@
+"""Plan-space enumeration and pruning.
+
+The raw space is the cross product of every knob on
+:class:`~repro.tuning.plan.Plan` — far too big to sweep blindly and
+mostly no-ops for any given program.  The enumerator prunes with two
+sources of evidence:
+
+* **compile-time stats** from the default-plan compilation: a program
+  with zero transpose fusions has nothing to gain (or lose) from
+  reordering the peephole schedule; a program with zero hoists doesn't
+  need the LICM axis; a program with no guarded stores doesn't need the
+  guard axis.
+* **a probe run** (the default plan on the fused backend): collective
+  counts tell us whether the gather/allreduce algorithm axes can matter
+  at this ``nprocs``.
+
+Distribution candidates respect *alignment classes*: names that interact
+in distributed statements are flipped together, because mixing schemes
+between interacting operands forces the runtime's realignment gathers
+(correct, but never what a sensible plan wants to explore first).
+
+Candidates come out deterministically ordered: the default plan first,
+then every single-axis deviation, then pairs, triples, ... of compatible
+deviations, truncated at the caller's budget.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional
+
+from ..analysis.lattice import Rank
+from ..ir.nodes import (
+    CallUser,
+    Copy,
+    Elementwise,
+    EwNode,
+    IndexAssign,
+    IRProgram,
+    RTCall,
+    SetElement,
+    Var,
+    ew_operands,
+)
+from .plan import DEFAULT_PLAN, Plan
+
+#: per-class distribution flips explored (largest classes first)
+MAX_DIST_CLASSES = 3
+
+
+# -------------------------------------------------------------------------- #
+# alignment classes
+# -------------------------------------------------------------------------- #
+
+
+def _distributed_names(ir: IRProgram) -> set[str]:
+    """Script variables that may hold distributed data (non-scalar rank)."""
+    names = set()
+    for name, vtype in ir.var_types.items():
+        if vtype.rank is not Rank.SCALAR:
+            names.add(name)
+    return names
+
+
+def _stmt_var_groups(stmt) -> Iterable[list[str]]:
+    """Name groups that one statement forces into the same class."""
+    group: list[str] = []
+    if isinstance(stmt, Elementwise):
+        if isinstance(stmt.dest, Var):
+            group.append(stmt.dest.name)
+        for op in ew_operands(stmt.expr):
+            if isinstance(op, Var):
+                group.append(op.name)
+    elif isinstance(stmt, Copy):
+        for op in (stmt.dest, stmt.src):
+            if isinstance(op, Var):
+                group.append(op.name)
+    elif isinstance(stmt, RTCall):
+        # conservative: a run-time call ties its (matrix) operands and
+        # destination together — coarser than strictly necessary, but a
+        # class that is too big only shrinks the search space, never
+        # produces an unsound plan
+        if isinstance(stmt.dest, Var):
+            group.append(stmt.dest.name)
+        for arg in stmt.args:
+            items = arg if isinstance(arg, list) else [arg]
+            for item in items:
+                subs = item if isinstance(item, list) else [item]
+                for sub in subs:
+                    if isinstance(sub, Var):
+                        group.append(sub.name)
+    elif isinstance(stmt, (SetElement, IndexAssign)):
+        group.append(stmt.var.name)
+        if isinstance(stmt.rhs, Var):
+            group.append(stmt.rhs.name)
+    elif isinstance(stmt, CallUser):
+        for d in stmt.dests:
+            if isinstance(d, Var):
+                group.append(d.name)
+        for a in stmt.args:
+            if isinstance(a, Var):
+                group.append(a.name)
+    if group:
+        yield group
+
+
+def alignment_classes(ir: IRProgram) -> list[tuple[str, ...]]:
+    """Partition the distributed script variables into classes that must
+    share a distribution scheme (union-find over statement co-occurrence).
+    Returned largest-first, names sorted within each class."""
+    dist = _distributed_names(ir)
+    parent: dict[str, str] = {name: name for name in dist}
+
+    def find(x: str) -> str:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    for block in ir.walk():
+        for stmt in block:
+            for group in _stmt_var_groups(stmt):
+                members = [n for n in group if n in dist]
+                for other in members[1:]:
+                    union(members[0], other)
+    classes: dict[str, set[str]] = {}
+    for name in dist:
+        classes.setdefault(find(name), set()).add(name)
+    return sorted((tuple(sorted(c)) for c in classes.values()),
+                  key=lambda c: (-len(c), c))
+
+
+# -------------------------------------------------------------------------- #
+# axis construction
+# -------------------------------------------------------------------------- #
+
+
+def _has_nested_ew(ir: IRProgram) -> bool:
+    for block in ir.walk():
+        for stmt in block:
+            if (isinstance(stmt, Elementwise)
+                    and isinstance(stmt.expr, EwNode)
+                    and any(isinstance(a, EwNode) for a in stmt.expr.args)):
+                return True
+    return False
+
+
+def _has_element_stores(ir: IRProgram) -> bool:
+    for block in ir.walk():
+        for stmt in block:
+            if isinstance(stmt, (SetElement, IndexAssign)):
+                return True
+    return False
+
+
+def plan_axes(program, probe_counts: Optional[dict] = None,
+              nprocs: int = 1) -> dict[str, list[dict]]:
+    """The prunable axes for ``program`` (compiled under the default
+    plan): axis name -> list of field-override dicts (deviations from
+    :data:`DEFAULT_PLAN`).
+
+    ``probe_counts`` is the default fused run's ``collective_counts``
+    (None: assume every collective occurs, i.e. don't prune on them).
+    """
+    ir = program.ir
+    counts = probe_counts or {}
+
+    def happened(*ops: str) -> bool:
+        if not counts:
+            return True
+        return any(counts.get(op, 0) > 0 for op in ops)
+
+    axes: dict[str, list[dict]] = {}
+
+    stats = program.peephole_stats
+    fusion: list[dict] = []
+    if stats.transpose_fused > 0:
+        fusion.append({"fusion": ("cse",)})          # drop the fuse rewrite
+    if stats.cse_removed > 0:
+        fusion.append({"fusion": ("transpose_matmul",)})  # drop CSE
+    if stats.transpose_fused > 0 or stats.cse_removed > 0:
+        fusion.append({"fusion": ()})                # pass 6 off entirely
+    if fusion:
+        axes["fusion"] = fusion
+
+    if program.licm_stats.hoisted > 0:
+        axes["licm"] = [{"licm": "safe"}, {"licm": "off"}]
+
+    if _has_element_stores(ir):
+        axes["guard"] = [{"guard": "replicated"}]
+
+    if _has_nested_ew(ir):
+        axes["ew_split"] = [{"ew_split": True}]
+
+    if nprocs > 1:
+        dist: list[dict] = [{"scheme": "cyclic"}]
+        for cls in alignment_classes(ir)[:MAX_DIST_CLASSES]:
+            # flip one class to cyclic, and the complement: default goes
+            # cyclic while this class is pinned to block
+            dist.append({"dist": tuple((name, "cyclic") for name in cls)})
+            dist.append({"scheme": "cyclic",
+                         "dist": tuple((name, "block") for name in cls)})
+        axes["dist"] = dist
+
+        if happened("allgather", "gather", "scatter"):
+            axes["gather_algo"] = [{"gather_algo": "doubling"}]
+        if happened("allreduce"):
+            axes["allreduce_algo"] = [{"allreduce_algo": "halving"}]
+        axes["cache_gathers"] = [{"cache_gathers": True}]
+
+    return axes
+
+
+# -------------------------------------------------------------------------- #
+# enumeration
+# -------------------------------------------------------------------------- #
+
+
+def _merge(overrides: Iterable[dict]) -> Optional[dict]:
+    """Merge override dicts; None if two touch the same field."""
+    merged: dict = {}
+    for ov in overrides:
+        for key in ov:
+            if key in merged:
+                return None
+        merged.update(ov)
+    return merged
+
+
+def enumerate_plans(program, probe_counts: Optional[dict] = None,
+                    nprocs: int = 1, budget: int = 64) -> list[Plan]:
+    """Up to ``budget`` candidate plans, default first, deterministic.
+
+    Order: the default plan, every single-axis deviation, then pairs,
+    triples, ... of deviations from *different* axes (same-field
+    conflicts are skipped).  The default plan is always candidate 0, so
+    any search that evaluates the whole list can never return a plan
+    worse than the default.
+    """
+    axes = plan_axes(program, probe_counts, nprocs)
+    pool: list[tuple[str, dict]] = []
+    for axis in sorted(axes):
+        for override in axes[axis]:
+            pool.append((axis, override))
+
+    plans: list[Plan] = [DEFAULT_PLAN]
+    seen = {DEFAULT_PLAN.key()}
+
+    def push(overrides: dict) -> bool:
+        if len(plans) >= budget:
+            return False
+        try:
+            plan = Plan(**{**DEFAULT_PLAN.as_dict(), **overrides})
+        except (TypeError, ValueError):
+            return True
+        if plan.key() not in seen:
+            seen.add(plan.key())
+            plans.append(plan)
+        return True
+
+    for depth in range(1, len(pool) + 1):
+        if len(plans) >= budget:
+            break
+        made_one = False
+        for combo in itertools.combinations(pool, depth):
+            axis_names = [axis for axis, _ in combo]
+            if len(set(axis_names)) != len(axis_names):
+                continue  # two deviations on the same axis
+            merged = _merge(ov for _, ov in combo)
+            if merged is None:
+                continue
+            made_one = True
+            if not push(merged):
+                return plans
+        if not made_one:
+            break
+    return plans
