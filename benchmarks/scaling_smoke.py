@@ -1,0 +1,81 @@
+"""CI scaling smoke: fused heat + cg at P=256 on the fat-tree profile.
+
+Run as a script (``PYTHONPATH=src:benchmarks python
+benchmarks/scaling_smoke.py``).  Guards the vectorized per-rank
+accounting: the fused backend must stay fused (no silent lockstep
+fallback) at a node-spanning world size, finish each workload inside a
+hard wall-clock budget, and keep host-seconds-per-simulated-rank below
+an absolute ceiling — the quantity the numpy rank arrays make nearly
+free.  Writes the sweep to ``scaling_report.json`` for the CI artifact
+and exits non-zero on any violation so the job fails loudly.
+"""
+
+import json
+import sys
+import time
+
+from test_wallclock import HEAT_SOURCE
+
+from repro.bench.workloads import make_workload
+from repro.compiler import OtterCompiler
+from repro.mpi import FATTREE_CLUSTER
+
+NPROCS = 256
+
+#: hard per-workload host budget (seconds).  Local min-of-2 runs land
+#: near 0.06s (heat) / 0.17s (cg) at P=256; 10s absorbs slow CI hosts
+#: while still catching any return to O(P) Python-loop accounting,
+#: which costs minutes at this world size.
+WALL_BUDGET_S = 10.0
+
+#: per-simulated-rank ceiling (seconds/rank).  Locally ~0.0002-0.0007;
+#: an order-of-magnitude regression on a slow runner still fits, a
+#: de-vectorization does not.
+PER_RANK_BUDGET_S = 0.02
+
+
+def main() -> int:
+    cg = make_workload("cg", scale="small")
+    jobs = [("heat", HEAT_SOURCE, None), ("cg", cg.source, cg.provider)]
+    payload, failures = {}, []
+    for name, source, provider in jobs:
+        program = OtterCompiler(provider=provider).compile(source, name=name)
+        best = float("inf")
+        for _ in range(2):
+            t0 = time.perf_counter()
+            result = program.run(nprocs=NPROCS, machine=FATTREE_CLUSTER,
+                                 backend="fused")
+            best = min(best, time.perf_counter() - t0)
+        per_rank = best / NPROCS
+        payload[name] = {
+            "nprocs": NPROCS,
+            "machine": FATTREE_CLUSTER.name,
+            "backend": result.spmd.backend,
+            "wall_s": round(best, 4),
+            "wall_s_per_rank": round(per_rank, 6),
+            "modeled_s": result.elapsed,
+        }
+        if result.spmd.backend != "fused":
+            failures.append(f"{name}: fell back to "
+                            f"{result.spmd.backend} at P={NPROCS}")
+        if best > WALL_BUDGET_S:
+            failures.append(f"{name}: {best:.2f}s exceeds the "
+                            f"{WALL_BUDGET_S:.0f}s wall budget")
+        if per_rank > PER_RANK_BUDGET_S:
+            failures.append(f"{name}: {per_rank:.4f}s/rank exceeds the "
+                            f"{PER_RANK_BUDGET_S}s/rank ceiling")
+        print(f"[scaling-smoke] {name}: P={NPROCS} fused in {best:.3f}s "
+              f"({per_rank * 1e3:.3f} ms/rank, "
+              f"modeled {result.elapsed:.4f}s)")
+
+    with open("scaling_report.json", "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    for failure in failures:
+        print(f"[scaling-smoke] FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

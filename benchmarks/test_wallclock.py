@@ -240,6 +240,65 @@ def test_fused_vs_lockstep_sweep(scale):
     })
 
 
+#: the large-world sweep: node-spanning powers of four on the fat tree
+SCALING_NPROCS = (16, 64, 256, 1024)
+
+
+def test_fused_scaling_sweep(scale):
+    """The P=1024 scaling claim: with per-rank accounting vectorized into
+    numpy arrays, the fused backend's host cost per *simulated rank*
+    must not blow up as the world grows — one program pass plus O(P)
+    array arithmetic, never O(P) Python loops.
+
+    Sweeps heat/cg/ocean at P in {16, 64, 256, 1024} on the fat-tree
+    cluster profile (the 1997 machines cap at 16 CPUs), asserts every
+    run genuinely stayed fused, and pins the acceptance bar: host
+    seconds per simulated rank at P = 1024 within 4x of P = 16.
+    Recorded in the JSON's ``fused_scaling`` section.
+    """
+    from repro.mpi import FATTREE_CLUSTER
+
+    sources = {"heat": (HEAT_SOURCE, None)}
+    for key in ("cg", "ocean"):
+        w = make_workload(key, scale=scale)
+        sources[key] = (w.source, w.provider)
+    entries = {}
+    for key, (source, provider) in sources.items():
+        program = OtterCompiler(provider=provider).compile(source, name=key)
+        wall = {}
+        vclock = {}
+        for p in SCALING_NPROCS:
+            best = float("inf")
+            for _ in range(2):
+                t0 = time.perf_counter()
+                result = program.run(nprocs=p, machine=FATTREE_CLUSTER,
+                                     backend="fused")
+                best = min(best, time.perf_counter() - t0)
+            assert result.spmd.backend == "fused", (key, p)
+            wall[str(p)] = round(best, 4)
+            vclock[str(p)] = result.elapsed
+        per_rank = {str(p): round(wall[str(p)] / p, 6)
+                    for p in SCALING_NPROCS}
+        entries[key] = {
+            "fused_wall_s": wall,
+            "wall_s_per_rank": per_rank,
+            "per_rank_p1024_over_p16": round(
+                per_rank["1024"] / per_rank["16"], 3),
+            "modeled_s": {p: round(t, 6) for p, t in vclock.items()},
+        }
+        assert per_rank["1024"] <= 4.0 * per_rank["16"], (
+            f"{key}: per-rank host cost blew up at P=1024: {entries}")
+    _merge_into_report({
+        "fused_scaling": {
+            "machine_model": FATTREE_CLUSTER.name,
+            "backend": "fused",
+            "nprocs": list(SCALING_NPROCS),
+            "metric": "min-of-2 host seconds (and per simulated rank)",
+            "workloads": entries,
+        },
+    })
+
+
 def _substrate_programs():
     def collectives(comm):
         for _ in range(200):

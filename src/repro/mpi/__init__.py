@@ -52,6 +52,8 @@ from .faults import FaultPlan, FaultRule, load_plan
 from .fused import FusedComm, PerRankScalar
 from .machine import (
     CpuModel,
+    FATTREE_CLUSTER,
+    GPU_CLUSTER,
     Link,
     MACHINES,
     MEIKO_CS2,
@@ -75,7 +77,8 @@ __all__ = [
     "MpiTimeoutError", "SpmdWatchdogError", "MpiCorruptionError",
     "RankCrashedError",
     "CpuModel", "Link", "MachineModel", "MACHINES",
-    "MEIKO_CS2", "SUN_ENTERPRISE", "SPARC20_CLUSTER", "get_machine",
+    "MEIKO_CS2", "SUN_ENTERPRISE", "SPARC20_CLUSTER",
+    "FATTREE_CLUSTER", "GPU_CLUSTER", "get_machine",
 ]
 
 from .machine import WORKSTATION_MEMORY  # noqa: E402

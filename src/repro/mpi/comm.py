@@ -44,6 +44,33 @@ ANY_TAG = -1
 
 _WAIT_TIMEOUT = 0.2  # seconds between abort checks while blocked (threads)
 
+#: wait-graph rendering cap: reports list at most this many blocked
+#: ranks beyond any detected cycle (a P=1024 deadlock report must stay
+#: readable and O(1)-ish to format)
+WAIT_REPORT_LIMIT = 16
+
+
+def find_wait_cycle(edges: dict) -> list:
+    """Ranks on the first cycle of a wait graph (``waiter -> waited-on``
+    single-successor edges; wildcard waits simply have no edge).  Empty
+    list when every chain dead-ends.  Deterministic: chains are chased
+    from the lowest-numbered waiter up."""
+    visited: set = set()
+    for start in sorted(edges):
+        if start in visited:
+            continue
+        index: dict = {}
+        path: list = []
+        node = start
+        while node in edges and node not in index and node not in visited:
+            index[node] = len(path)
+            path.append(node)
+            node = edges[node]
+        visited.update(path)
+        if node in index:
+            return path[index[node]:]
+    return []
+
 #: sentinel for "no matching message yet" from a nonblocking probe
 _NOT_READY = object()
 
@@ -141,7 +168,12 @@ class World:
                     self.faults.sink = (
                         lambda rank, text, now:
                         recorders[rank].fault(text, now))
-        self.clocks = [0.0] * nprocs
+        #: per-rank virtual clocks.  A rank-indexed float64 array so the
+        #: fused backend can charge all P ranks with one vector
+        #: expression; scalar indexing (``clocks[r] += dt``) keeps the
+        #: lockstep/threads per-rank view and is bit-identical to the
+        #: old Python-list arithmetic (IEEE float64 either way).
+        self.clocks = np.zeros(nprocs, dtype=np.float64)
         self.cond = threading.Condition()
         # (src, dst, tag) -> deque of (payload, arrival_time, nbytes,
         # checksum); the wire size is computed once at send time and
@@ -165,11 +197,24 @@ class World:
         self._arrived = 0
         self._departed = 0
         self._generation = 0
-        # message statistics (observability / tests)
-        self.messages_sent = 0
-        self.bytes_sent = 0
+        # message statistics (observability / tests): rank-indexed
+        # primaries so the fused backend can bump all P ranks at once;
+        # the scalar totals everyone reads are properties over these.
+        self.rank_messages = np.zeros(nprocs, dtype=np.int64)
+        self.rank_bytes = np.zeros(nprocs, dtype=np.int64)
+        self.rank_collectives = np.zeros(nprocs, dtype=np.int64)
         self.collectives = 0
         self.collective_counts: dict[str, int] = {}
+
+    @property
+    def messages_sent(self) -> int:
+        """Total messages across ranks (sum of ``rank_messages``)."""
+        return int(self.rank_messages.sum())
+
+    @property
+    def bytes_sent(self) -> int:
+        """Total payload bytes across ranks (sum of ``rank_bytes``)."""
+        return int(self.rank_bytes.sum())
 
     # ------------------------------------------------------------------ #
 
@@ -192,12 +237,37 @@ class World:
     def wait_snapshot(self) -> str:
         """Best-effort report of who is blocked on what (the watchdog's
         post-mortem; under lockstep the scheduler's wait graph is the
-        authoritative version)."""
+        authoritative version).  At most ``WAIT_REPORT_LIMIT`` waiters
+        are listed beyond any recv cycle — a P=1024 report stays
+        readable; below the cap the rendering is byte-identical to the
+        full listing."""
+        waiting = self._recv_waiting
+
+        def render(rank: int) -> str:
+            source, tag = waiting[rank]
+            return (f"rank {rank}: blocked in "
+                    f"recv(source={source}, tag={tag})")
+
+        ranks = sorted(waiting)
         lines = []
-        for rank in sorted(self._recv_waiting):
-            source, tag = self._recv_waiting[rank]
-            lines.append(f"rank {rank}: blocked in "
-                         f"recv(source={source}, tag={tag})")
+        if len(ranks) > WAIT_REPORT_LIMIT:
+            cycle = find_wait_cycle(
+                {r: waiting[r][0] for r in ranks
+                 if waiting[r][0] != ANY_SOURCE})
+            if cycle:
+                lines.append("recv cycle: " +
+                             " -> ".join(str(r) for r in
+                                         cycle + [cycle[0]]))
+            on_cycle = set(cycle)
+            rest = [r for r in ranks if r not in on_cycle]
+            shown = rest[:WAIT_REPORT_LIMIT]
+            lines.extend(render(r) for r in cycle)
+            lines.extend(render(r) for r in shown)
+            if len(rest) > len(shown):
+                lines.append(f"... and {len(rest) - len(shown)} more "
+                             f"blocked ranks")
+        else:
+            lines.extend(render(r) for r in ranks)
         if self._arrived:
             lines.append(f"collective rendezvous incomplete: "
                          f"{self._arrived}/{self.nprocs} arrived")
@@ -225,7 +295,7 @@ class World:
         """All contributions are in: run ``combine`` exactly once and
         publish the result for this generation."""
         self._coll_nbytes = 0  # combines that price bytes re-publish
-        tmax = max(self.clocks)
+        tmax = float(self.clocks.max())
         result, tnew = combine(list(self._slots), tmax)
         self._coll_result = result
         self._coll_time = tnew
@@ -233,6 +303,7 @@ class World:
         self._arrived = 0
         self._generation += 1
         self.collectives += 1
+        self.rank_collectives += 1
         if op is not None:
             self._count(op)
 
@@ -515,8 +586,8 @@ class Comm:
         # buffered send: sender is occupied for the injection overhead
         world.clocks[self.rank] = t_send + \
             self.machine.link_between(self.rank, dest).latency * 0.5
-        world.messages_sent += 1
-        world.bytes_sent += nbytes
+        world.rank_messages[self.rank] += 1
+        world.rank_bytes[self.rank] += nbytes
         rec = self._rec
         if rec is not None:
             rec.send(self.line, t_send, world.clocks[self.rank] - t_send,
@@ -530,8 +601,8 @@ class Comm:
         if copies > 1:
             # the duplicate crossed the wire too: accounted explicitly,
             # never silently
-            world.messages_sent += copies - 1
-            world.bytes_sent += nbytes * (copies - 1)
+            world.rank_messages[self.rank] += copies - 1
+            world.rank_bytes[self.rank] += nbytes * (copies - 1)
             if rec is not None:
                 rec.extra_copies(self.line, copies - 1,
                                  nbytes * (copies - 1))

@@ -236,7 +236,7 @@ def run_spmd(nprocs: int, machine: MachineModel,
         world = comm.world
         return SpmdResult(
             results=[result] * nprocs,
-            times=list(world.clocks),
+            times=world.clocks.tolist(),
             machine=machine,
             nprocs=nprocs,
             messages_sent=world.messages_sent,
@@ -351,7 +351,7 @@ def run_spmd(nprocs: int, machine: MachineModel,
 
     return SpmdResult(
         results=results,
-        times=list(world.clocks),
+        times=world.clocks.tolist(),
         machine=machine,
         nprocs=nprocs,
         messages_sent=world.messages_sent,

@@ -34,14 +34,30 @@ catches it and re-runs the program under ``lockstep``.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
 from ..errors import FusionDivergence
 from . import datatypes
-from .comm import SUM, World
+from .comm import MAX, MIN, PROD, SUM, World
 from .machine import MachineModel
+
+#: reduction ops whose rank-order fold over *identical* float64
+#: contributions can run as a ``ufunc.accumulate`` — numpy's accumulate
+#: is a strict sequential left fold in C, so the result is bit-identical
+#: to the Python loop ``acc = op(acc, obj)`` repeated P-1 times
+_FOLD_UFUNCS = {SUM: np.add, PROD: np.multiply,
+                MAX: np.maximum, MIN: np.minimum}
+
+_MISSING = object()
+
+
+def _bits_equal(a: Any, b: Any) -> bool:
+    """Exact (bit-level for floats: ``repr`` separates ``0.0``/``-0.0``)
+    equality — the fixed-point test of :meth:`FusedComm._fold_value`."""
+    return type(a) is type(b) and a == b and repr(a) == repr(b)
 
 
 class PerRankScalar:
@@ -121,7 +137,12 @@ class FusedComm:
         self.size = nprocs
         self.machine = machine
         self.line = 0
-        self._recs = None if trace is None else trace.recorders
+        # the WorldTrace itself (not the recorder list): fused charge
+        # paths feed whole per-rank columns to its batch_* hooks
+        self._trace = trace
+        # (op, size, type, value) -> fold result; replicated reductions
+        # recur with identical inputs, so each distinct fold runs once
+        self._fold_memo: dict = {}
 
     # -- identity --------------------------------------------------------- #
 
@@ -130,15 +151,15 @@ class FusedComm:
         raise FusionDivergence("program reads the MPI rank")
 
     @property
-    def clocks(self) -> list:
+    def clocks(self) -> np.ndarray:
         return self.world.clocks
 
     @property
     def time(self) -> float:
         raise FusionDivergence("per-rank clock read outside tic/toc")
 
-    def clock_snapshot(self):
-        return list(self.world.clocks)
+    def clock_snapshot(self) -> list:
+        return self.world.clocks.tolist()
 
     def clock_restore(self, snapshot) -> None:
         self.world.clocks[:] = snapshot
@@ -148,73 +169,54 @@ class FusedComm:
     def advance(self, dt: float) -> None:
         if dt < 0:
             raise FusionDivergence("cannot advance the clock backwards")
-        for r in range(self.size):
-            self.world.clocks[r] += dt
-        if self._recs is not None:
-            line = self.line
-            for rec in self._recs:
-                rec.charge(line, dt)
+        self.world.clocks += dt
+        if self._trace is not None:
+            self._trace.batch_charge(self.line, dt)
 
     def compute(self, flops: int = 0, elems: int = 0, mem: int = 0) -> None:
         """Identical local computation on every rank."""
         dt = self.machine.compute_time(
             flops=flops, elems=elems, mem=mem, active_cpus=self.size)
-        if self._recs is not None and dt > 0.0:
-            clocks = self.world.clocks
-            line = self.line
-            for r, rec in enumerate(self._recs):
-                rec.compute(line, clocks[r], dt)
+        if self._trace is not None and dt > 0.0:
+            self._trace.batch_compute(self.line, self.world.clocks, dt)
         self.advance(dt)
 
     def overhead(self, calls: int = 1) -> None:
-        if self._recs is not None:
-            line = self.line
-            for rec in self._recs:
-                rec.calls(line, calls)
+        if self._trace is not None:
+            self._trace.batch_calls(self.line, calls)
         self.advance(calls * self.machine.cpu.call_overhead)
 
     def trace_suspend(self):
         """Pause recording (instrumentation-only work); returns a token
         for :meth:`trace_resume`."""
-        token = self._recs
-        self._recs = None
+        token = self._trace
+        self._trace = None
         return token
 
     def trace_resume(self, token) -> None:
-        self._recs = token
+        self._trace = token
 
     def trace_io(self, nbytes: int) -> None:
-        if self._recs is not None:
+        if self._trace is not None:
             # output happens on rank 0 on every backend
-            self._recs[0].io(self.line, self.world.clocks[0], nbytes)
+            self._trace.recorders[0].io(self.line, self.world.clocks[0],
+                                        nbytes)
 
     def compute_ranks(self, flops: Optional[Sequence[int]] = None,
                       elems: Optional[Sequence[int]] = None,
                       mem: Optional[Sequence[int]] = None) -> None:
         """Per-rank local computation (one sequence entry per rank).
 
-        Block distributions produce at most two distinct counts, so the
-        model is evaluated O(1) times and the result memoized per charge.
+        One vectorized model evaluation charges all P clocks; each
+        element of :meth:`MachineModel.compute_time_vec` is bit-identical
+        to the scalar ``compute_time`` call the lockstep backend makes.
         """
         clocks = self.world.clocks
-        recs = self._recs
-        line = self.line
-        memo: dict = {}
-        for r in range(self.size):
-            key = (flops[r] if flops is not None else 0,
-                   elems[r] if elems is not None else 0,
-                   mem[r] if mem is not None else 0)
-            dt = memo.get(key)
-            if dt is None:
-                dt = self.machine.compute_time(
-                    flops=key[0], elems=key[1], mem=key[2],
-                    active_cpus=self.size)
-                memo[key] = dt
-            if recs is not None:
-                if dt > 0.0:
-                    recs[r].compute(line, clocks[r], dt)
-                recs[r].charge(line, dt)
-            clocks[r] += dt
+        dts = self.machine.compute_time_vec(
+            flops=flops, elems=elems, mem=mem, active_cpus=self.size)
+        if self._trace is not None:
+            self._trace.batch_rank_compute(self.line, clocks, dts)
+        clocks += dts
 
     # -- collective accounting -------------------------------------------- #
 
@@ -223,15 +225,14 @@ class FusedComm:
         ``World._run_combine`` + the per-rank ``max`` does), and the
         collective tallies advance."""
         w = self.world
-        pre = list(w.clocks)
-        tnew = max(pre) + cost
-        w.clocks[:] = [tnew] * self.size
+        pre = w.clocks.copy()
+        tnew = float(pre.max()) + cost
+        w.clocks[:] = tnew
         w.collectives += 1
+        w.rank_collectives += 1
         w._count(op)
-        if self._recs is not None:
-            line = self.line
-            for r, rec in enumerate(self._recs):
-                rec.collective(op, line, pre[r], tnew - pre[r], nbytes)
+        if self._trace is not None:
+            self._trace.batch_collective(op, self.line, pre, tnew, nbytes)
 
     def charge_barrier(self) -> None:
         self._sync_cost("barrier", self.machine.collective_time(
@@ -240,9 +241,9 @@ class FusedComm:
     def charge_bcast(self, nbytes: int) -> None:
         if self.size == 1:
             self.world._count("bcast")
-            if self._recs is not None:
-                self._recs[0].collective("bcast", self.line,
-                                         self.world.clocks[0], 0.0, nbytes)
+            if self._trace is not None:
+                self._trace.recorders[0].collective(
+                    "bcast", self.line, self.world.clocks[0], 0.0, nbytes)
             return
         self._sync_cost("bcast", self.machine.collective_time(
             "bcast", nbytes, self.size), nbytes)
@@ -250,9 +251,9 @@ class FusedComm:
     def charge_reduce(self, nbytes: int, kind: str = "allreduce") -> None:
         if self.size == 1:
             self.world._count(kind)
-            if self._recs is not None:
-                self._recs[0].collective(kind, self.line,
-                                         self.world.clocks[0], 0.0, nbytes)
+            if self._trace is not None:
+                self._trace.recorders[0].collective(
+                    kind, self.line, self.world.clocks[0], 0.0, nbytes)
             return
         cost = self.machine.collective_time(kind, nbytes, self.size)
         cost += int(np.ceil(np.log2(self.size))) * (nbytes / 8.0) \
@@ -281,26 +282,26 @@ class FusedComm:
         p = self.size
         if p == 1:
             return  # self-exchange: no wire traffic
-        pre = list(w.clocks)
-        arrivals = [0.0] * p
-        for r in range(p):
-            dest = (r + 1) % p if forward else (r - 1) % p
-            arrivals[dest] = pre[r] + self.machine.p2p_time(r, dest, nbytes)
-            w.clocks[r] = pre[r] + \
-                self.machine.link_between(r, dest).latency * 0.5
-            w.messages_sent += 1
-            w.bytes_sent += nbytes
-            if self._recs is not None:
-                self._recs[r].send(self.line, pre[r],
-                                   w.clocks[r] - pre[r], dest, 0, nbytes)
-        for r in range(p):
-            me = w.clocks[r]
-            w.clocks[r] = max(me, arrivals[r])
-            if self._recs is not None:
-                source = (r - 1) % p if forward else (r + 1) % p
-                self._recs[r].recv(self.line, me,
-                                   max(0.0, arrivals[r] - me),
-                                   source, 0, nbytes)
+        pre = w.clocks.copy()
+        ranks = np.arange(p)
+        step = 1 if forward else -1
+        dests = (ranks + step) % p
+        lat, ptime = self.machine.p2p_time_vec(ranks, dests, nbytes)
+        arrivals = np.empty(p, dtype=np.float64)
+        arrivals[dests] = pre + ptime
+        w.clocks[:] = pre + lat * 0.5
+        w.rank_messages += 1
+        w.rank_bytes += nbytes
+        if self._trace is not None:
+            self._trace.batch_send(self.line, pre, w.clocks - pre,
+                                   dests, 0, nbytes)
+        me = w.clocks.copy()
+        np.maximum(me, arrivals, out=w.clocks)
+        if self._trace is not None:
+            sources = (ranks - step) % p
+            self._trace.batch_recv(self.line, me,
+                                   np.maximum(0.0, arrivals - me),
+                                   sources, 0, nbytes)
 
     # -- replicated collectives ------------------------------------------- #
     # Unbranched (rank-agnostic) runtime code can only ever contribute a
@@ -315,10 +316,56 @@ class FusedComm:
         return obj
 
     def allreduce(self, obj: Any, op: Callable = SUM) -> Any:
-        acc = obj
-        for _ in range(self.size - 1):
-            acc = op(acc, obj)
+        acc = self._fold_identical(op, obj)
         self.charge_reduce(datatypes.sizeof(obj))
+        return acc
+
+    def _fold_identical(self, op: Callable, obj: Any) -> Any:
+        """``op`` folded over P identical contributions, bit-identical to
+        the lockstep rank-order loop ``acc = op(acc, obj)`` × (P-1) but
+        sub-linear in interpreter work: distinct folds are memoized, the
+        builtin ops on finite floats run as one C ``ufunc.accumulate``
+        (a strict sequential left fold), integer SUM/PROD use the exact
+        closed forms, and any fold that reaches a bitwise fixed point
+        stops early (all remaining iterations are no-ops)."""
+        if self.size == 1:
+            return obj
+        try:
+            key = (id(op), self.size, type(obj).__name__, obj)
+            hit = self._fold_memo.get(key, _MISSING)
+        except TypeError:           # unhashable contribution
+            key = None
+            hit = _MISSING
+        if hit is not _MISSING:
+            return hit
+        acc = self._fold_value(op, obj)
+        if key is not None:
+            self._fold_memo[key] = acc
+        return acc
+
+    def _fold_value(self, op: Callable, obj: Any) -> Any:
+        n = self.size
+        if type(obj) is float and math.isfinite(obj):
+            ufunc = _FOLD_UFUNCS.get(op)
+            if ufunc is not None:
+                # Python float arithmetic over/underflows silently to
+                # inf/0.0; match that (numpy would warn)
+                with np.errstate(over="ignore", under="ignore"):
+                    return float(ufunc.accumulate(np.full(n, obj))[-1])
+        if type(obj) is int:
+            # integer arithmetic is exact and associative: the closed
+            # forms equal the fold for any P (no int64 overflow — these
+            # stay Python ints)
+            if op is SUM:
+                return obj * n
+            if op is PROD:
+                return obj ** n
+        acc = op(obj, obj)
+        for _ in range(n - 2):
+            nxt = op(acc, obj)
+            if _bits_equal(nxt, acc):
+                return nxt          # fixed point: remaining folds no-op
+            acc = nxt
         return acc
 
     def allgather(self, obj: Any) -> list:

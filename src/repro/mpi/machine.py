@@ -24,6 +24,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 from ..interp.costmodel import InterpCostParams
 
 
@@ -96,6 +98,12 @@ class MachineModel:
     # textbook replacements a later library generation would ship.
     gather_algo: str = "ring"        # ring | doubling
     allreduce_algo: str = "tree"     # tree | halving
+    # Hierarchical (MagPIe-style two-level) collectives on multi-node
+    # machines: ``auto`` decomposes every collective into an intra-node
+    # stage plus an inter-node stage over one representative per node;
+    # ``flat`` models a topology-oblivious library where every tree/ring
+    # hop may cross the network (the autotuner's on/off axis).
+    collective_hierarchy: str = "auto"  # auto | flat
 
     def __post_init__(self) -> None:
         if self.gather_algo not in ("ring", "doubling"):
@@ -104,6 +112,9 @@ class MachineModel:
         if self.allreduce_algo not in ("tree", "halving"):
             raise ValueError(f"allreduce_algo must be 'tree' or 'halving' "
                              f"(got {self.allreduce_algo!r})")
+        if self.collective_hierarchy not in ("auto", "flat"):
+            raise ValueError(f"collective_hierarchy must be 'auto' or "
+                             f"'flat' (got {self.collective_hierarchy!r})")
         if self.max_cpus < 1:
             raise ValueError(f"max_cpus must be >= 1 "
                              f"(got {self.max_cpus!r})")
@@ -152,6 +163,21 @@ class MachineModel:
                 + elems * self.cpu.elem_time * scale
                 + mem * self.cpu.mem_time * scale)
 
+    def compute_time_vec(self, flops=None, elems=None, mem=None,
+                         active_cpus: int = 1) -> np.ndarray:
+        """Rank-indexed :meth:`compute_time`: each argument is a per-rank
+        count vector (or ``None`` for zero), the result is the per-rank
+        cost array.  Term order and association match the scalar formula
+        exactly, so each element is *bit-identical* to the scalar call —
+        the contract the vectorized fused accounting relies on."""
+        scale = self.memory_scale(active_cpus)
+        f = 0.0 if flops is None else np.asarray(flops, dtype=np.float64)
+        e = 0.0 if elems is None else np.asarray(elems, dtype=np.float64)
+        m = 0.0 if mem is None else np.asarray(mem, dtype=np.float64)
+        return (f * self.cpu.flop_time
+                + e * self.cpu.elem_time * scale
+                + m * self.cpu.mem_time * scale)
+
     # -- communication -------------------------------------------------- #
 
     def p2p_time(self, src: int, dst: int, nbytes: int,
@@ -162,6 +188,22 @@ class MachineModel:
                 and link is self.inter_link and concurrent_inter > 1):
             bandwidth = bandwidth / concurrent_inter
         return link.latency + nbytes / bandwidth
+
+    def p2p_time_vec(self, src: np.ndarray, dst: np.ndarray,
+                     nbytes: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-pair ``(latency, p2p_time)`` arrays for simultaneous
+        messages ``src[i] -> dst[i]`` of ``nbytes`` each (no shared-medium
+        concurrency adjustment — matching ``p2p_time``'s default).  Each
+        element is bit-identical to the scalar ``p2p_time`` call."""
+        if self.inter_link is None or self.cpus_per_node <= 0:
+            lat = np.full(len(src), self.intra_link.latency)
+            return lat, lat + nbytes / self.intra_link.bandwidth
+        crosses = (src // self.cpus_per_node) != (dst // self.cpus_per_node)
+        lat = np.where(crosses, self.inter_link.latency,
+                       self.intra_link.latency)
+        bandwidth = np.where(crosses, self.inter_link.bandwidth,
+                             self.intra_link.bandwidth)
+        return lat, lat + nbytes / bandwidth
 
     def collective_time(self, op: str, nbytes: int, nprocs: int) -> float:
         """Cost of one collective over ``nprocs`` ranks moving ``nbytes``
@@ -181,6 +223,14 @@ class MachineModel:
                                          nprocs, self.intra_link, 1.0)
         assert self.inter_link is not None and self.cpus_per_node > 0
         nodes = math.ceil(nprocs / self.cpus_per_node)
+        if self.collective_hierarchy == "flat":
+            # topology-oblivious library: every tree/ring hop is priced
+            # as if it crossed the network, and a shared medium sees all
+            # concurrently communicating node pairs at once
+            contention = float(max(nodes - 1, 1)) if self.shared_medium \
+                else 1.0
+            return self._flat_collective(op, nbytes, nprocs,
+                                         self.inter_link, contention)
         per_node = min(self.cpus_per_node, nprocs)
         # shared medium: concurrent inter-node transfers in one tree/ring
         # stage serialize on the single wire
@@ -282,10 +332,60 @@ SPARC20_CLUSTER = MachineModel(
 #: point for the memory argument)
 WORKSTATION_MEMORY = 128 * 1024 * 1024
 
+
+# --------------------------------------------------------------------------
+# modern machines (the P=1024 scaling vehicles; see docs/SCALING.md)
+# --------------------------------------------------------------------------
+
+# A current server core: ~5 Gflop/s scalar dense kernels per core,
+# DDR-bound streaming, sub-microsecond library call overhead.
+_MODERN_CORE = CpuModel(
+    flop_time=1.0 / 5e9,
+    elem_time=1.0 / 2e9,
+    mem_time=1.0 / 4e9,
+    call_overhead=1.0e-7,
+)
+
+FATTREE_CLUSTER = MachineModel(
+    name="Fat-tree cluster",
+    max_cpus=2048,
+    cpu=_MODERN_CORE,
+    # shared memory within a 32-core node; full-bisection HDR-class
+    # fabric between the 64 nodes (no shared medium: a fat tree keeps
+    # concurrent node pairs from serializing, unlike 1997's Ethernet)
+    intra_link=Link(latency=3.0e-7, bandwidth=8.0e9),
+    inter_link=Link(latency=1.5e-6, bandwidth=1.2e10),
+    cpus_per_node=32,
+    bus_contention=0.02,
+    memory_per_cpu=4 * 1024 * 1024 * 1024,
+)
+
+# GPU-era flop rates: each "rank" models one accelerator — hundreds of
+# Gflop/s sustained on dense kernels, kernel-launch-scale call overhead,
+# NVLink-class links inside a node and a 200 Gb/s NIC between nodes.
+_GPU = CpuModel(
+    flop_time=1.0 / 5e11,
+    elem_time=1.0 / 1e11,
+    mem_time=1.0 / 2e11,
+    call_overhead=3.0e-6,
+)
+
+GPU_CLUSTER = MachineModel(
+    name="GPU cluster",
+    max_cpus=1024,
+    cpu=_GPU,
+    intra_link=Link(latency=5.0e-6, bandwidth=2.0e11),
+    inter_link=Link(latency=5.0e-6, bandwidth=2.5e10),
+    cpus_per_node=8,
+    memory_per_cpu=32 * 1024 * 1024 * 1024,
+)
+
 MACHINES: dict[str, MachineModel] = {
     "meiko": MEIKO_CS2,
     "enterprise": SUN_ENTERPRISE,
     "cluster": SPARC20_CLUSTER,
+    "fattree": FATTREE_CLUSTER,
+    "gpu": GPU_CLUSTER,
 }
 
 

@@ -47,6 +47,11 @@ from typing import Any, Callable, Optional
 
 from ..errors import MpiError
 
+#: wait-graph reports list every rank up to this world size; larger
+#: worlds get the truncated cycle + census rendering (small-P reports —
+#: everything the existing tests pin — are unchanged)
+_WAIT_GRAPH_FULL_LIMIT = 32
+
 #: rank lifecycle states
 READY = "ready"        # in the run queue, waiting for the baton
 RUNNING = "running"    # holds the baton (at most one rank)
@@ -215,16 +220,53 @@ class LockstepScheduler:
                 pass
 
     def _wait_graph_locked(self) -> str:
-        lines = []
+        header = "deadlock: no simulated rank can make progress\n  "
+        if self.nprocs <= _WAIT_GRAPH_FULL_LIMIT:
+            lines = []
+            for rank in range(self.nprocs):
+                state = self._state[rank]
+                if state == BLOCKED:
+                    lines.append(f"rank {rank}: blocked in "
+                                 f"{_format_reason(self._reason[rank])}")
+                else:
+                    lines.append(f"rank {rank}: {state}")
+            return header + "\n  ".join(lines)
+        # large worlds: a P=1024 report listing every rank would be
+        # unreadable (and O(P) strings to build) — show any recv wait
+        # cycle, the first WAIT_REPORT_LIMIT blocked ranks, and a
+        # per-state census for the rest
+        from .comm import WAIT_REPORT_LIMIT, find_wait_cycle
+
+        edges = {}
+        blocked = []
+        census: dict[str, int] = {}
         for rank in range(self.nprocs):
             state = self._state[rank]
-            if state == BLOCKED:
-                lines.append(f"rank {rank}: blocked in "
-                             f"{_format_reason(self._reason[rank])}")
-            else:
-                lines.append(f"rank {rank}: {state}")
-        return ("deadlock: no simulated rank can make progress\n  "
-                + "\n  ".join(lines))
+            census[state] = census.get(state, 0) + 1
+            if state != BLOCKED:
+                continue
+            blocked.append(rank)
+            reason = self._reason[rank]
+            if (isinstance(reason, tuple) and reason[0] == "recv"
+                    and reason[1] >= 0):
+                edges[rank] = reason[1]
+        lines = []
+        cycle = find_wait_cycle(edges)
+        if cycle:
+            lines.append("recv cycle: "
+                         + " -> ".join(str(r) for r in cycle + [cycle[0]]))
+        on_cycle = set(cycle)
+        rest = [r for r in blocked if r not in on_cycle]
+        shown = rest[:WAIT_REPORT_LIMIT]
+        for rank in cycle + shown:
+            lines.append(f"rank {rank}: blocked in "
+                         f"{_format_reason(self._reason[rank])}")
+        if len(rest) > len(shown):
+            lines.append(f"... and {len(rest) - len(shown)} more "
+                         f"blocked ranks")
+        lines.append("states: " + ", ".join(
+            f"{state}={census[state]}" for state in sorted(census)))
+        return header + "\n  ".join(lines)
 
 
 def _format_reason(reason: Any) -> str:

@@ -14,12 +14,20 @@ from __future__ import annotations
 import json
 from typing import Any, Optional
 
+import numpy as np
+
 from .recorder import WorldTrace
 
 
 def _fmt(value: Any) -> str:
+    # numpy scalars normalize to the Python value first: repr of a
+    # np.float64 is "np.float64(...)" which would leak the substrate's
+    # array representation into the canonical bytes (float64 <-> float
+    # conversion is exact, so this changes nothing for plain floats)
     if isinstance(value, float):
-        return repr(value)
+        return repr(float(value))
+    if isinstance(value, np.integer):
+        return str(int(value))
     return str(value)
 
 
@@ -32,7 +40,7 @@ def canonical_events(trace: WorldTrace) -> str:
     for e in trace.events():
         args = " ".join(f"{k}={_fmt(v)}" for k, v in sorted(e.args.items()))
         out.append(f"r{e.rank} #{e.seq} {e.name} cat={e.cat} "
-                   f"line={e.line} t0={e.t0!r} dur={e.dur!r}"
+                   f"line={e.line} t0={_fmt(e.t0)} dur={_fmt(e.dur)}"
                    + (f" {args}" if args else ""))
     return "\n".join(out) + ("\n" if out else "")
 

@@ -27,6 +27,8 @@ from __future__ import annotations
 import time
 from typing import Any, Optional
 
+import numpy as np
+
 #: per-line accumulator slots (see :mod:`repro.trace.profile`)
 _CALLS, _MSGS, _BYTES, _COLLS, _VTIME = range(5)
 
@@ -172,6 +174,80 @@ class WorldTrace:
         """Called by the lockstep scheduler under its lock (host-time
         advisory data; never part of the canonical trace)."""
         self.sched_notes.append((time.perf_counter(), rank, what))
+
+    # -- vectorized hooks (fused backend) ----------------------------------- #
+    # One call charges every rank from numpy per-rank columns instead of
+    # P scalar method calls.  Each helper applies exactly the per-rank
+    # hook sequence of RankRecorder (same events, same accumulator-row
+    # creation — including zero-valued rows), with payloads converted to
+    # plain Python floats/ints via ``.tolist()``, so canonical traces
+    # and line profiles are byte-identical to a scalar recording of the
+    # same schedule.
+
+    def batch_charge(self, line: int, dt: float) -> None:
+        """``charge(line, dt)`` on every rank (uniform dt)."""
+        dt = float(dt)
+        for rec in self.recorders:
+            rec._row(line)[_VTIME] += dt
+
+    def batch_calls(self, line: int, n: int) -> None:
+        """``calls(line, n)`` on every rank."""
+        for rec in self.recorders:
+            rec._row(line)[_CALLS] += n
+
+    def batch_compute(self, line: int, t0s, dt: float) -> None:
+        """A compute event on every rank: per-rank starts, uniform
+        duration (the matching charge arrives via batch_charge)."""
+        dt = float(dt)
+        for rec, t0 in zip(self.recorders, t0s.tolist()):
+            rec.event("compute", "compute", line, t0, dt)
+
+    def batch_rank_compute(self, line: int, t0s, dts) -> None:
+        """Per-rank compute: event iff that rank's dt > 0, charge
+        always (mirrors the fused scalar compute_ranks loop)."""
+        for rec, t0, dt in zip(self.recorders,
+                               np.asarray(t0s).tolist(),
+                               np.broadcast_to(dts,
+                                               (self.nprocs,)).tolist()):
+            if dt > 0.0:
+                rec.event("compute", "compute", line, t0, dt)
+            rec._row(line)[_VTIME] += dt
+
+    def batch_collective(self, op: str, line: int, t0s, tnew: float,
+                         nbytes: int) -> None:
+        """``collective(op, ...)`` on every rank; per-rank durations are
+        computed here as ``tnew - t0`` (same expression, same floats as
+        the scalar path)."""
+        tnew = float(tnew)
+        for rec, t0 in zip(self.recorders, t0s.tolist()):
+            dur = tnew - t0
+            rec.event(op, "mpi", line, t0, dur, bytes=nbytes)
+            row = rec._row(line)
+            row[_COLLS] += 1
+            row[_VTIME] += dur
+
+    def batch_send(self, line: int, t0s, durs, dests, tag: int,
+                   nbytes: int) -> None:
+        """``send(...)`` on every rank (columns: start, duration,
+        destination)."""
+        for rec, t0, dur, dest in zip(self.recorders, t0s.tolist(),
+                                      durs.tolist(), dests.tolist()):
+            rec.event("mpi.send", "mpi", line, t0, dur,
+                      dest=dest, tag=tag, bytes=nbytes)
+            row = rec._row(line)
+            row[_MSGS] += 1
+            row[_BYTES] += nbytes
+            row[_VTIME] += dur
+
+    def batch_recv(self, line: int, t0s, durs, sources, tag: int,
+                   nbytes: int) -> None:
+        """``recv(...)`` on every rank (columns: start, duration,
+        source)."""
+        for rec, t0, dur, source in zip(self.recorders, t0s.tolist(),
+                                        durs.tolist(), sources.tolist()):
+            rec.event("mpi.recv", "mpi", line, t0, dur,
+                      source=source, tag=tag, bytes=nbytes)
+            rec._row(line)[_VTIME] += dur
 
     # -- canonical views ---------------------------------------------------- #
 

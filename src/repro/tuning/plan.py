@@ -34,6 +34,13 @@ Knob reference:
 ``gather_algo`` / ``allreduce_algo``
     Collective algorithms on the machine model (see
     :class:`repro.mpi.machine.MachineModel`).
+``hierarchy``
+    Collective topology strategy on the machine model: ``auto`` (the
+    default: two-level MagPIe-style collectives whenever the world
+    spans nodes) | ``flat`` (topology-oblivious single-level
+    collectives over the inter-node link).  Only meaningful on
+    hierarchical machines; the axis is offered only when the probe
+    world actually spans nodes.
 ``cache_gathers``
     Reuse gathered replicas of unmodified distributed values.
 """
@@ -52,6 +59,7 @@ LICM_POLICIES = ("off", "safe", "aggressive")
 GUARD_PLACEMENTS = ("owner", "replicated")
 GATHER_ALGOS = ("ring", "doubling")
 ALLREDUCE_ALGOS = ("tree", "halving")
+HIERARCHIES = ("auto", "flat")
 
 
 @dataclass(frozen=True)
@@ -66,6 +74,7 @@ class Plan:
     ew_split: bool = False
     gather_algo: str = "ring"
     allreduce_algo: str = "tree"
+    hierarchy: str = "auto"
     cache_gathers: bool = False
 
     def __post_init__(self) -> None:
@@ -99,6 +108,9 @@ class Plan:
         if self.allreduce_algo not in ALLREDUCE_ALGOS:
             raise ValueError(f"allreduce_algo must be one of "
                              f"{ALLREDUCE_ALGOS} (got {self.allreduce_algo!r})")
+        if self.hierarchy not in HIERARCHIES:
+            raise ValueError(f"hierarchy must be one of {HIERARCHIES} "
+                             f"(got {self.hierarchy!r})")
 
     # -- identity -------------------------------------------------------- #
 
@@ -122,13 +134,17 @@ class Plan:
     # -- application ----------------------------------------------------- #
 
     def apply_machine(self, machine):
-        """Machine model with this plan's collective algorithms."""
+        """Machine model with this plan's collective algorithms and
+        topology strategy."""
         if (machine.gather_algo == self.gather_algo
-                and machine.allreduce_algo == self.allreduce_algo):
+                and machine.allreduce_algo == self.allreduce_algo
+                and machine.collective_hierarchy == self.hierarchy):
             return machine
-        return dataclasses.replace(machine,
-                                   gather_algo=self.gather_algo,
-                                   allreduce_algo=self.allreduce_algo)
+        return dataclasses.replace(
+            machine,
+            gather_algo=self.gather_algo,
+            allreduce_algo=self.allreduce_algo,
+            collective_hierarchy=self.hierarchy)
 
     # -- rendering ------------------------------------------------------- #
 

@@ -228,7 +228,8 @@ def tune_program(source: str, nprocs: int = 4,
         return result
 
     for plan in enumerate_plans(default_program, probe_counts,
-                                nprocs=nprocs, budget=budget)[1:]:
+                                nprocs=nprocs, budget=budget,
+                                machine=machine)[1:]:
         cand, _, _ = evaluate(plan, reference)
         result.candidates.append(cand)
 

@@ -159,13 +159,15 @@ def _has_element_stores(ir: IRProgram) -> bool:
 
 
 def plan_axes(program, probe_counts: Optional[dict] = None,
-              nprocs: int = 1) -> dict[str, list[dict]]:
+              nprocs: int = 1, machine=None) -> dict[str, list[dict]]:
     """The prunable axes for ``program`` (compiled under the default
     plan): axis name -> list of field-override dicts (deviations from
     :data:`DEFAULT_PLAN`).
 
     ``probe_counts`` is the default fused run's ``collective_counts``
     (None: assume every collective occurs, i.e. don't prune on them).
+    ``machine`` gates the topology axes: the collective-hierarchy knob
+    is only offered when the world actually spans nodes on that model.
     """
     ir = program.ir
     counts = probe_counts or {}
@@ -211,6 +213,11 @@ def plan_axes(program, probe_counts: Optional[dict] = None,
             axes["gather_algo"] = [{"gather_algo": "doubling"}]
         if happened("allreduce"):
             axes["allreduce_algo"] = [{"allreduce_algo": "halving"}]
+        if (machine is not None and machine.spans_nodes(nprocs)
+                and happened("allgather", "gather", "scatter", "allreduce",
+                             "bcast", "reduce", "alltoall", "barrier",
+                             "scan")):
+            axes["hierarchy"] = [{"hierarchy": "flat"}]
         axes["cache_gathers"] = [{"cache_gathers": True}]
 
     return axes
@@ -233,7 +240,8 @@ def _merge(overrides: Iterable[dict]) -> Optional[dict]:
 
 
 def enumerate_plans(program, probe_counts: Optional[dict] = None,
-                    nprocs: int = 1, budget: int = 64) -> list[Plan]:
+                    nprocs: int = 1, budget: int = 64,
+                    machine=None) -> list[Plan]:
     """Up to ``budget`` candidate plans, default first, deterministic.
 
     Order: the default plan, every single-axis deviation, then pairs,
@@ -242,7 +250,7 @@ def enumerate_plans(program, probe_counts: Optional[dict] = None,
     any search that evaluates the whole list can never return a plan
     worse than the default.
     """
-    axes = plan_axes(program, probe_counts, nprocs)
+    axes = plan_axes(program, probe_counts, nprocs, machine=machine)
     pool: list[tuple[str, dict]] = []
     for axis in sorted(axes):
         for override in axes[axis]:

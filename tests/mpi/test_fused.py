@@ -81,7 +81,7 @@ class TestFusedComm:
         comm.allreduce(1.0)
         clocks = comm.world.clocks
         assert clocks[0] > 0
-        assert clocks == [clocks[0]] * 3
+        assert clocks.tolist() == [clocks[0]] * 3
 
 
 # -- fallback semantics -------------------------------------------------- #

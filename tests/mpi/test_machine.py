@@ -1,8 +1,13 @@
 """Machine-model tests."""
 
+import math
+from dataclasses import replace
+
 import pytest
 
 from repro.mpi.machine import (
+    FATTREE_CLUSTER,
+    GPU_CLUSTER,
     MACHINES,
     MEIKO_CS2,
     SPARC20_CLUSTER,
@@ -82,7 +87,8 @@ class TestInterpreterParams:
         assert params.elem_time > MEIKO_CS2.cpu.elem_time
 
     def test_registry(self):
-        assert set(MACHINES) == {"meiko", "enterprise", "cluster"}
+        assert set(MACHINES) == {"meiko", "enterprise", "cluster",
+                                 "fattree", "gpu"}
         assert get_machine("meiko") is MEIKO_CS2
         with pytest.raises(KeyError):
             get_machine("cray")
@@ -93,3 +99,85 @@ def test_machine_cpu_counts_match_paper():
     assert SUN_ENTERPRISE.max_cpus == 8   # 8-CPU Sun Enterprise SMP
     assert SPARC20_CLUSTER.max_cpus == 16  # four 4-CPU SPARCserver 20s
     assert SPARC20_CLUSTER.cpus_per_node == 4
+
+
+# -------------------------------------------------------------------------- #
+# modern profiles + hierarchical collectives (the P=1024 scaling work)
+# -------------------------------------------------------------------------- #
+
+
+class TestModernProfiles:
+    def test_fattree_registered_and_scales_past_1024(self):
+        fattree = get_machine("fattree")
+        assert fattree is FATTREE_CLUSTER
+        assert fattree.max_cpus >= 1024
+        assert fattree.spans_nodes(1024)
+        assert fattree.node_of(0) == 0
+        assert fattree.node_of(fattree.cpus_per_node) == 1
+
+    def test_gpu_registered(self):
+        gpu = get_machine("gpu")
+        assert gpu is GPU_CLUSTER
+        assert gpu.max_cpus >= 1024
+        assert gpu.spans_nodes(1024)
+        # GPU-era flop rates dwarf the 1997 machines
+        assert gpu.cpu.flop_time < MEIKO_CS2.cpu.flop_time / 1000
+
+    def test_modern_cores_faster_than_1997(self):
+        assert FATTREE_CLUSTER.cpu.flop_time < MEIKO_CS2.cpu.flop_time
+        assert FATTREE_CLUSTER.intra_link.latency \
+            < MEIKO_CS2.intra_link.latency
+
+
+class TestHierarchicalCollectives:
+    def test_auto_decomposes_into_intra_plus_inter(self):
+        m = FATTREE_CLUSTER
+        nbytes, nprocs = 8192, 1024
+        nodes = math.ceil(nprocs / m.cpus_per_node)
+        expected = (m._flat_collective("bcast", nbytes, m.cpus_per_node,
+                                       m.intra_link, 1.0)
+                    + m._flat_collective("bcast", nbytes, nodes,
+                                         m.inter_link, 1.0))
+        assert m.collective_time("bcast", nbytes, nprocs) == expected
+
+    def test_gather_family_aggregates_node_payload_across_wire(self):
+        m = FATTREE_CLUSTER
+        nbytes, nprocs = 512, 256
+        nodes = math.ceil(nprocs / m.cpus_per_node)
+        expected = (m._flat_collective("allgather", nbytes,
+                                       m.cpus_per_node, m.intra_link, 1.0)
+                    + m._flat_collective("allgather",
+                                         nbytes * m.cpus_per_node, nodes,
+                                         m.inter_link, 1.0))
+        assert m.collective_time("allgather", nbytes, nprocs) == expected
+
+    def test_flat_hierarchy_prices_every_hop_on_the_network(self):
+        flat = replace(FATTREE_CLUSTER, collective_hierarchy="flat")
+        nbytes, nprocs = 8192, 1024
+        expected = flat._flat_collective("bcast", nbytes, nprocs,
+                                         flat.inter_link, 1.0)
+        assert flat.collective_time("bcast", nbytes, nprocs) == expected
+        # the fat tree has no shared medium, so flat loses only latency
+        # stages; on the Ethernet cluster it also serializes the wire
+        eth = replace(SPARC20_CLUSTER, collective_hierarchy="flat")
+        nodes = math.ceil(16 / eth.cpus_per_node)
+        expected_eth = eth._flat_collective("bcast", 4096, 16,
+                                            eth.inter_link,
+                                            float(nodes - 1))
+        assert eth.collective_time("bcast", 4096, 16) == expected_eth
+
+    def test_flat_no_worse_is_not_guaranteed_but_differs(self):
+        flat = replace(FATTREE_CLUSTER, collective_hierarchy="flat")
+        auto = FATTREE_CLUSTER
+        assert flat.collective_time("allreduce", 8192, 1024) \
+            != auto.collective_time("allreduce", 8192, 1024)
+
+    def test_hierarchy_irrelevant_within_one_node(self):
+        flat = replace(FATTREE_CLUSTER, collective_hierarchy="flat")
+        for op in ("bcast", "allreduce", "allgather", "barrier"):
+            assert flat.collective_time(op, 1024, 8) == \
+                FATTREE_CLUSTER.collective_time(op, 1024, 8)
+
+    def test_hierarchy_validation(self):
+        with pytest.raises(ValueError):
+            replace(FATTREE_CLUSTER, collective_hierarchy="magpie")

@@ -189,3 +189,103 @@ class TestRequestTest:
 
         res = run_spmd(2, MEIKO_CS2, prog, backend="lockstep")
         assert res.results[1] == 1.5
+
+
+class TestWaitGraphTruncation:
+    """Deadlock/watchdog reports stay readable (and cheap) at P=1024."""
+
+    def _scheduler(self, nprocs):
+        from repro.mpi.scheduler import BLOCKED, LockstepScheduler
+        sched = LockstepScheduler(nprocs)
+        for rank in range(nprocs):
+            sched._state[rank] = BLOCKED
+            # a recv chain with one genuine cycle at the front:
+            # 0 <-> 1, everyone else waits on its predecessor
+            source = 1 if rank == 0 else rank - 1
+            sched._reason[rank] = ("recv", source, 7)
+        return sched
+
+    def test_small_world_report_is_unchanged(self):
+        sched = self._scheduler(4)
+        report = sched._wait_graph_locked()
+        # every rank listed, no truncation markers
+        for rank in range(4):
+            assert f"rank {rank}: blocked in recv" in report
+        assert "more blocked ranks" not in report
+        assert "states:" not in report
+
+    def test_p1024_report_is_truncated(self):
+        from repro.mpi.comm import WAIT_REPORT_LIMIT
+
+        sched = self._scheduler(1024)
+        report = sched._wait_graph_locked()
+        assert "recv cycle: 0 -> 1 -> 0" in report
+        assert f"... and {1024 - 2 - WAIT_REPORT_LIMIT} more " \
+            "blocked ranks" in report
+        assert "states: blocked=1024" in report
+        # bounded: cycle (2) + limit + cycle line + ellipsis + census
+        assert len(report.splitlines()) <= WAIT_REPORT_LIMIT + 6
+        assert "rank 1023" not in report
+
+    def test_p1024_report_counts_non_blocked_states(self):
+        from repro.mpi.scheduler import DONE
+        sched = self._scheduler(1024)
+        for rank in range(1000, 1024):
+            sched._state[rank] = DONE
+            sched._reason[rank] = None
+        report = sched._wait_graph_locked()
+        assert "states: blocked=1000, done=24" in report
+
+    def test_find_wait_cycle(self):
+        from repro.mpi.comm import find_wait_cycle
+
+        assert find_wait_cycle({}) == []
+        assert find_wait_cycle({0: 1, 1: 0}) == [0, 1]
+        assert find_wait_cycle({0: 1, 1: 2, 2: 3}) == []  # chain, no cycle
+        # cycle not containing the lowest waiter still found
+        assert find_wait_cycle({0: 5, 5: 6, 6: 5}) == [5, 6]
+        # self-wait is a 1-cycle
+        assert find_wait_cycle({3: 3}) == [3]
+
+    def test_world_wait_snapshot_small_is_unchanged(self):
+        from repro.mpi.comm import World
+
+        world = World(4, MEIKO_CS2)
+        world._recv_waiting = {0: (1, 5), 2: (3, -1)}
+        snap = world.wait_snapshot()
+        assert "rank 0: blocked in recv(source=1, tag=5)" in snap
+        assert "rank 2: blocked in recv(source=3, tag=-1)" in snap
+        assert "more blocked ranks" not in snap
+
+    def test_world_wait_snapshot_p1024_truncates(self):
+        from repro.mpi import FATTREE_CLUSTER
+        from repro.mpi.comm import WAIT_REPORT_LIMIT, World
+
+        world = World(1024, FATTREE_CLUSTER)
+        world._recv_waiting = {r: ((r + 1) % 1024, 0) for r in range(1024)}
+        snap = world.wait_snapshot()
+        assert "recv cycle:" in snap  # the full ring is one big cycle
+        assert "more blocked ranks" not in snap or "... and" in snap
+        # a ring of 1024 is all cycle: the renderer shows the cycle and
+        # nothing is left over to truncate; break the ring to check the
+        # waiter cap
+        world._recv_waiting = {r: (1023, 0) for r in range(1023)}
+        snap = world.wait_snapshot()
+        shown = snap.count("blocked in recv")
+        assert shown == WAIT_REPORT_LIMIT
+        assert f"... and {1023 - WAIT_REPORT_LIMIT} more blocked ranks" \
+            in snap
+
+    def test_live_deadlock_at_p64_reports_cycle(self):
+        def prog(comm):
+            # every rank waits on its right neighbour: a 64-cycle
+            return comm.recv(source=(comm.rank + 1) % comm.size)
+
+        from repro.mpi import FATTREE_CLUSTER
+
+        with pytest.raises(DeadlockError) as excinfo:
+            run_spmd(64, FATTREE_CLUSTER, prog, backend="lockstep")
+        message = str(excinfo.value)
+        assert "no simulated rank can make progress" in message
+        assert "recv cycle:" in message
+        assert len(message.splitlines()) < 100

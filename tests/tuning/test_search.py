@@ -164,3 +164,55 @@ def test_run_with_tune_returns_tuned_result():
     assert len(result.tune.candidates) <= 8
     # the run itself executed under the winning plan
     assert result.spmd.elapsed <= result.tune.default.cost + 1e-12
+
+
+# -- topology-aware axes (modern machine profiles) ------------------------- #
+
+
+def test_hierarchy_axis_requires_multi_node_machine():
+    from repro.mpi import FATTREE_CLUSTER, MEIKO_CS2
+
+    program = compile_source(MATVEC_SRC)
+    counts = {"allgather": 3, "allreduce": 2}
+    # Meiko is a single 16-CPU node: no hierarchy knob to turn
+    axes = plan_axes(program, counts, nprocs=16, machine=MEIKO_CS2)
+    assert "hierarchy" not in axes
+    # no machine given -> no topology evidence -> no axis
+    axes = plan_axes(program, counts, nprocs=16)
+    assert "hierarchy" not in axes
+    # fat tree at P=64 spans nodes: the flat deviation is offered
+    axes = plan_axes(program, counts, nprocs=64, machine=FATTREE_CLUSTER)
+    assert axes["hierarchy"] == [{"hierarchy": "flat"}]
+    # but not when the whole world fits on one 32-core node
+    axes = plan_axes(program, counts, nprocs=16, machine=FATTREE_CLUSTER)
+    assert "hierarchy" not in axes
+    # and not without any collectives to reroute
+    axes = plan_axes(program, {"allgather": 0}, nprocs=64,
+                     machine=FATTREE_CLUSTER)
+    assert "hierarchy" not in axes
+
+
+def test_enumerate_plans_explores_hierarchy_on_fattree():
+    from repro.mpi import FATTREE_CLUSTER
+
+    program = compile_source(MATVEC_SRC)
+    plans = enumerate_plans(program, None, nprocs=64, budget=64,
+                            machine=FATTREE_CLUSTER)
+    assert any(p.hierarchy == "flat" for p in plans)
+    # without the machine the knob never appears
+    plans = enumerate_plans(program, None, nprocs=64, budget=64)
+    assert all(p.hierarchy == "auto" for p in plans)
+
+
+def test_tuned_never_worse_on_modern_profile():
+    """The headline guarantee holds on the fat-tree profile too, with the
+    hierarchy axis in play at a node-spanning P."""
+    from repro.mpi import FATTREE_CLUSTER
+
+    tuned = tune_program(MATVEC_SRC, nprocs=64, budget=24,
+                         machine=FATTREE_CLUSTER)
+    assert tuned.best.cost <= tuned.default.cost
+    assert tuned.improvement >= 0.0
+    assert tuned.best.valid
+    # the search actually considered a flat-hierarchy candidate
+    assert any(c.plan.hierarchy == "flat" for c in tuned.candidates)
