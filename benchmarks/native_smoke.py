@@ -1,0 +1,100 @@
+"""CI native-tier smoke: prove the JIT tier engages, stays bit-identical,
+and reuses its kernel cache.
+
+Run as a script (``PYTHONPATH=src:benchmarks python
+benchmarks/native_smoke.py``).  Compiles the elementwise-dominated
+image-filtering workload, runs it fused at P=4 with the tier forced off
+and forced on (twice, to exercise the warm path), and checks:
+
+* output and virtual clock are identical off vs on;
+* the tier actually served calls (``require`` would have raised
+  otherwise anyway);
+* the warm run performs **zero** compiles and zero disk loads — every
+  kernel is already resident.
+
+Writes a hit-rate table to ``native_report.md`` (appended to
+``$GITHUB_STEP_SUMMARY`` by the workflow) plus ``native_report.json``
+for the artifact, and exits non-zero on any violation.
+"""
+
+import json
+import os
+import sys
+import time
+
+from repro.bench.workloads import image_filter
+from repro.compiler import OtterCompiler
+from repro.mpi import MEIKO_CS2
+
+
+def main() -> int:
+    workload = image_filter(n=128, steps=4)
+    program = OtterCompiler().compile(workload.source, name=workload.key)
+
+    def timed(native):
+        t0 = time.perf_counter()
+        result = program.run(nprocs=4, machine=MEIKO_CS2, backend="fused",
+                             native=native)
+        return time.perf_counter() - t0, result
+
+    off_s, off = timed("off")
+    cold_s, cold = timed("require")
+    warm_s, warm = timed("require")
+
+    failures = []
+    if off.output != cold.output or off.output != warm.output:
+        failures.append("output differs between native off/on")
+    if off.elapsed != cold.elapsed or off.elapsed != warm.elapsed:
+        failures.append("virtual clock differs between native off/on")
+    if cold.native["native_calls"] == 0:
+        failures.append("native tier never served a call")
+    if warm.native["compiles"] != 0:
+        failures.append(f"warm run recompiled "
+                        f"{warm.native['compiles']} kernels")
+    if warm.native["disk_hits"] != 0:
+        failures.append("warm run re-read the disk cache")
+
+    calls = warm.native["native_calls"]
+    hits = warm.native["mem_hits"]
+    rows = [
+        "### Native kernel tier smoke (image filter, fused, P=4)",
+        "",
+        "| run | host s | native calls | compiles | disk hits |"
+        " warm hits |",
+        "|---|---|---|---|---|---|",
+        f"| native off | {off_s:.3f} | — | — | — | — |",
+        f"| cold | {cold_s:.3f} | {cold.native['native_calls']} |"
+        f" {cold.native['compiles']} | {cold.native['disk_hits']} |"
+        f" {cold.native['mem_hits']} |",
+        f"| warm | {warm_s:.3f} | {calls} | {warm.native['compiles']} |"
+        f" {warm.native['disk_hits']} | {hits} |",
+        "",
+        f"warm in-process hit rate: **{hits}/{calls}"
+        f" = {100.0 * hits / max(calls, 1):.1f}%**;"
+        f" virtual clock identical off/on: "
+        f"**{off.elapsed == warm.elapsed}**",
+    ]
+    report = "\n".join(rows) + "\n"
+    print(report)
+    with open("native_report.md", "w", encoding="utf-8") as fh:
+        fh.write(report)
+    with open("native_report.json", "w", encoding="utf-8") as fh:
+        json.dump({
+            "off_wall_s": round(off_s, 4),
+            "cold_wall_s": round(cold_s, 4),
+            "warm_wall_s": round(warm_s, 4),
+            "cold": cold.native,
+            "warm": warm.native,
+            "kernel_cache": os.environ.get("REPRO_KERNEL_CACHE", ""),
+        }, fh, indent=2)
+        fh.write("\n")
+    if failures:
+        for line in failures:
+            print(f"FAIL: {line}", file=sys.stderr)
+        return 1
+    print("native smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Image filtering over distributed rows — the native kernel tier's demo.
+
+The workload is the MatlabMPI benchmark family's image filter ("300x
+Faster Matlab using MatlabMPI"): a cross-stencil blur, an unsharp
+mask, a smoothstep tone curve, and a gradient-magnitude edge blend
+over an n x n image.  The 2-D stencil becomes ``circshift(img, [k 0])``
+across the distributed rows and ``circshift(img, [0 k])`` within them
+(a purely local roll under the row-contiguous distribution); everything
+between the shifts is fused elementwise chains — exactly the shape the
+native tier JIT-compiles into single C loops (see docs/NATIVE.md).
+
+The demo runs the same program twice on the fused backend — native
+kernels off, then on — and shows that the modeled numbers are
+bit-identical while host wall-clock drops.
+
+Run:  python examples/image_filter.py
+"""
+
+import time
+
+from repro import OtterCompiler
+from repro.bench.workloads import image_filter
+from repro.mpi import MEIKO_CS2
+
+
+def main() -> None:
+    workload = image_filter(n=384, steps=6)
+    program = OtterCompiler().compile(workload.source, name=workload.key)
+
+    print("=== filter check (4 CPUs, Meiko model) ===")
+    result = program.run(nprocs=4, machine=MEIKO_CS2, backend="fused")
+    print(result.output.strip())
+    print("collectives used:", dict(result.spmd.collective_counts))
+
+    print("\n=== native kernel tier: host wall-clock, same modeled run ===")
+    rows = []
+    for mode in ("off", "auto"):
+        t0 = time.perf_counter()
+        res = program.run(nprocs=4, machine=MEIKO_CS2, backend="fused",
+                          native=mode)
+        host = time.perf_counter() - t0
+        rows.append((mode, host, res))
+    (off_mode, off_host, off_res), (on_mode, on_host, on_res) = rows
+    print(f"native={off_mode!r}: {off_host * 1e3:8.1f} ms host, "
+          f"{off_res.elapsed * 1e3:.3f} ms modeled")
+    stats = on_res.native or {}
+    print(f"native={on_mode!r}: {on_host * 1e3:8.1f} ms host, "
+          f"{on_res.elapsed * 1e3:.3f} ms modeled "
+          f"({stats.get('native_calls', 0)} native calls, "
+          f"{stats.get('compiles', 0)} kernels compiled)")
+    same = (off_res.output == on_res.output
+            and off_res.elapsed == on_res.elapsed)
+    print(f"bit-identical output + virtual clock: {same}; "
+          f"host speedup {off_host / max(on_host, 1e-9):.2f}x "
+          "(second run reuses the on-disk kernel cache)")
+
+
+if __name__ == "__main__":
+    main()

@@ -376,7 +376,10 @@ _register("isscalar", 1, 1, 1, "query", _scalar_result(BaseType.INTEGER))
 # structural
 _register("reshape", 3, 3, 1, "structural", _reshape_rule)
 _register("repmat", 3, 3, 1, "structural", _repmat_rule)
-_register("circshift", 2, 2, 1, "structural", _same_as_arg())
+_register("circshift", 2, 2, 1, "structural", _same_as_arg(),
+          notes="shift is a scalar or MATLAB's [rows cols] pair; "
+                "column shifts are rank-local under the row "
+                "distribution")
 _register("fliplr", 1, 1, 1, "structural", _same_as_arg())
 _register("flipud", 1, 1, 1, "structural", _same_as_arg())
 _register("tril", 1, 2, 1, "structural", _same_as_arg())

@@ -30,6 +30,7 @@ from .workloads import (
     Workload,
     all_workloads,
     conjugate_gradient,
+    image_filter,
     make_workload,
     nbody,
     ocean_engineering,
@@ -45,6 +46,6 @@ __all__ = [
     "BenchHarness", "SingleCpuResult", "SpeedupCurve",
     "render_figure2", "render_speedup_figure", "render_table1",
     "ALL_KEYS", "PAPER_SCALE", "SMALL_SCALE", "Workload", "all_workloads",
-    "conjugate_gradient", "make_workload", "nbody", "ocean_engineering",
-    "transitive_closure",
+    "conjugate_gradient", "image_filter", "make_workload", "nbody",
+    "ocean_engineering", "transitive_closure",
 ]

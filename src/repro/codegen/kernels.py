@@ -41,10 +41,32 @@ def ldiv(a, b):
         return np.divide(b, a)
 
 
+def _pow_needs_complex(aa, bb):
+    """Does real ``aa ** bb`` need complex promotion (negative base,
+    fractional exponent)?  Fast paths first: ``x .^ <integral scalar>``
+    — the overwhelmingly common case — answers without touching the
+    arrays at all, and a scalar on either side scans only the other
+    operand, not the broadcast product of both."""
+    if bb.ndim == 0:
+        b0 = float(bb)
+        # NaN exponents fall through (NaN != floor(NaN), so the legacy
+        # predicate treated them as fractional); +/-Inf are integral
+        if b0 == np.floor(b0):
+            return False
+        if aa.ndim == 0:
+            return float(aa) < 0
+        return bool(np.any(aa < 0))
+    if aa.ndim == 0:
+        if not float(aa) < 0:  # non-negative or NaN base never promotes
+            return False
+        return bool(np.any(bb != np.floor(bb)))
+    return bool(np.any((aa < 0) & (bb != np.floor(bb))))
+
+
 def pow_(a, b):
     aa, bb = _num(a), _num(b)
     if (not np.iscomplexobj(aa) and not np.iscomplexobj(bb)
-            and np.any((aa < 0) & (bb != np.floor(bb)))):
+            and _pow_needs_complex(aa, bb)):
         aa = aa.astype(complex)
     with np.errstate(divide="ignore", invalid="ignore"):
         return aa ** bb

@@ -169,7 +169,7 @@ void ML_isscalar(MATRIX *a, double *out);
 /* structural */
 void ML_reshape(MATRIX *a, int r, int c, MATRIX **out);
 void ML_repmat(MATRIX *a, int m, int n, MATRIX **out);
-void ML_circshift(MATRIX *a, int k, MATRIX **out);
+void ML_circshift(MATRIX *a, ...);  /* int k | MATRIX *[rows cols], then MATRIX **out */
 void ML_fliplr(MATRIX *a, MATRIX **out);
 void ML_flipud(MATRIX *a, MATRIX **out);
 void ML_tril(MATRIX *a, ...);

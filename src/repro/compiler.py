@@ -54,6 +54,10 @@ class RunResult:
     peak_local_bytes: list[int] = field(default_factory=list)
     #: the plan-search report when the run was autotuned (``tune=True``)
     tune: Optional[Any] = None
+    #: native-kernel-tier activity during this run (counter deltas from
+    #: repro.native.NativeStats plus the resolved mode), or ``None``
+    #: when the tier was off/unavailable
+    native: Optional[dict] = None
 
     @property
     def trace(self):
@@ -117,7 +121,8 @@ class CompiledProgram:
             trace: bool | None = None,
             plan=None,
             tune: bool | None = None,
-            tune_budget: int | None = None) -> RunResult:
+            tune_budget: int | None = None,
+            native: str | None = None) -> RunResult:
         """Execute on ``nprocs`` simulated ranks of ``machine``.
 
         ``backend`` picks the SPMD execution backend (``"lockstep"``,
@@ -138,6 +143,11 @@ class CompiledProgram:
         when ``tune is None``) first searches the plan space on the
         fused backend, then runs the winner here; the search report
         lands on ``RunResult.tune`` (see docs/TUNING.md).
+
+        ``native`` selects the JIT kernel tier (``"auto"``/``"off"``/
+        ``"require"``); ``None`` defers to the plan's ``native`` axis,
+        then ``$REPRO_NATIVE``, then ``auto`` — see docs/NATIVE.md.
+        Kernel activity lands on ``RunResult.native``.
         """
         from .mpi.executor import resolve_tune
         from .mpi.machine import MEIKO_CS2
@@ -153,7 +163,8 @@ class CompiledProgram:
             result = tuned.best_program.run(
                 nprocs=nprocs, machine=machine, seed=seed,
                 backend=backend, fault_plan=fault_plan, watchdog=watchdog,
-                trace=trace, plan=tuned.best.plan, tune=False)
+                trace=trace, plan=tuned.best.plan, tune=False,
+                native=native)
             result.tune = tuned
             return result
 
@@ -171,13 +182,25 @@ class CompiledProgram:
         output: list[str] = []
         provider = self.provider
 
+        import os as _os
+
+        from .native import ENV_NATIVE, resolve_native
+
+        native_mode = native
+        if native_mode is None and plan is not None \
+                and getattr(plan, "native", "auto") != "auto":
+            native_mode = plan.native
+        engine = resolve_native(native_mode)
+        native_mode = native_mode or _os.environ.get(ENV_NATIVE) or "auto"
+        stats_before = engine.stats.snapshot() if engine is not None else None
+
         peaks: dict[int, int] = {}
 
         def rank_main(comm):
             rt = RuntimeContext(comm, out=output.append, seed=seed,
                                 scheme=scheme, provider=provider,
                                 cache_gathers=cache_gathers,
-                                dist_plan=dist_plan)
+                                dist_plan=dist_plan, native=engine)
             try:
                 workspace = main(rt)
                 peaks[rt.rank] = rt.peak_local_bytes
@@ -215,10 +238,16 @@ class CompiledProgram:
         workspace = spmd.results[0] or {}
         # drop never-assigned variables for a clean workspace view
         workspace = {k: v for k, v in workspace.items() if v is not None}
+        native_report = None
+        if engine is not None:
+            after = engine.stats.snapshot()
+            native_report = {k: after[k] - stats_before[k] for k in after}
+            native_report["mode"] = native_mode
         return RunResult(workspace=workspace, output="".join(output),
                          elapsed=spmd.elapsed, spmd=spmd,
                          peak_local_bytes=[peaks.get(r, 0)
-                                           for r in range(nprocs)])
+                                           for r in range(nprocs)],
+                         native=native_report)
 
 
 class OtterCompiler:

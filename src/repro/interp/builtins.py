@@ -418,8 +418,12 @@ def _repmat(ctx, args, nargout):
 @_register("circshift")
 def _circshift(ctx, args, nargout):
     arr = as_matrix(args[0])
-    k = _scalar_int(args[1], "circshift")
+    shift = as_matrix(args[1])
     ctx.meter.charge_copy(arr.size)
+    if shift.size == 2:  # MATLAB's [rows cols] form
+        kr, kc = (_scalar_int(v, "circshift") for v in shift.flat)
+        return simplify(np.roll(arr, (kr, kc), axis=(0, 1)))
+    k = _scalar_int(args[1], "circshift")
     if arr.shape[0] == 1:  # row vector: shift along columns
         return simplify(np.roll(arr, k, axis=1))
     return simplify(np.roll(arr, k, axis=0))

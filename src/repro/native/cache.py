@@ -1,0 +1,87 @@
+"""On-disk content-addressed kernel cache.
+
+Layout: one ``k_<hash>.c`` / ``k_<hash>.so`` pair per kernel under the
+cache root (``$REPRO_KERNEL_CACHE`` or ``~/.cache/repro-kernels``).  The
+hash covers op tree + slot signature + codegen ABI version, so a cache
+directory can be shared freely across runs, processes, and repo
+checkouts — a warm cache compiles nothing.
+
+Publishing is atomic (compile to a pid-suffixed temp name, then
+``os.replace``) so concurrent processes racing on the same kernel both
+succeed and one .so wins.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+from pathlib import Path
+
+ENV_CACHE_DIR = "REPRO_KERNEL_CACHE"
+
+
+class KernelCompileError(Exception):
+    """The host compiler rejected a generated kernel."""
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro-kernels"
+
+
+class KernelCache:
+    """Filesystem store for compiled kernels, keyed by content hash."""
+
+    def __init__(self, root: str | os.PathLike | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self._ready = False
+
+    def _ensure_root(self) -> None:
+        if not self._ready:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._ready = True
+
+    def so_path(self, key: str) -> Path:
+        return self.root / f"k_{key}.so"
+
+    def source_path(self, key: str) -> Path:
+        return self.root / f"k_{key}.c"
+
+    def lookup(self, key: str) -> Path | None:
+        """Return the shared object for ``key`` if already on disk."""
+        path = self.so_path(key)
+        return path if path.exists() else None
+
+    def build(self, key: str, source: str, cc: str,
+              extra_flags: tuple[str, ...] = ()) -> Path:
+        """Compile ``source`` and publish it under ``key`` atomically.
+
+        The flags pin strict IEEE semantics: no fast-math value
+        rewrites, and ``-ffp-contract=off`` so the compiler cannot fuse
+        ``a*b + c`` into an FMA — either would break bit-identity with
+        the numpy path.  ``-fno-math-errno`` is the one liberty taken:
+        it never changes a computed value, only skips the errno
+        bookkeeping, which is what lets ``sqrt`` inline to a bare
+        ``sqrtsd`` instead of a guarded libm call.
+        """
+        self._ensure_root()
+        src = self.source_path(key)
+        src.write_text(source)
+        final = self.so_path(key)
+        tmp = self.root / f"k_{key}.{os.getpid()}.tmp.so"
+        cmd = [cc, "-O2", "-fPIC", "-shared",
+               "-fno-fast-math", "-ffp-contract=off", "-fno-math-errno",
+               *extra_flags, str(src), "-o", str(tmp), "-lm"]
+        try:
+            proc = subprocess.run(cmd, capture_output=True, text=True,
+                                  timeout=60)
+        except (OSError, subprocess.SubprocessError) as exc:
+            raise KernelCompileError(f"{cc}: {exc}") from exc
+        if proc.returncode != 0:
+            tmp.unlink(missing_ok=True)
+            raise KernelCompileError(
+                f"{cc} exited {proc.returncode}: {proc.stderr.strip()}")
+        os.replace(tmp, final)
+        return final

@@ -44,9 +44,10 @@ def call_builtin(rt, name: str, args: list[RValue], nargout: int = 1):
     if name in _CONSTANTS:
         return _CONSTANTS[name]
     if name in _EW_FUNCS:
-        return rt.ew(_EW_FUNCS[name], 1, args[0])
+        return rt.ew(_EW_FUNCS[name], 1, args[0], spec=(f"fn:{name}", "@0"))
     if name in _EW_BINARY:
-        return rt.ew(_EW_BINARY[name], 1, args[0], args[1])
+        return rt.ew(_EW_BINARY[name], 1, args[0], args[1],
+                     spec=(f"fn:{name}", "@0", "@1"))
 
     if name == "zeros":
         return rt.zeros(*args)
@@ -81,7 +82,8 @@ def call_builtin(rt, name: str, args: list[RValue], nargout: int = 1):
     if name in ("max", "min"):
         if len(args) == 2:
             fn = np.maximum if name == "max" else np.minimum
-            return rt.ew(fn, 1, args[0], args[1])
+            return rt.ew(fn, 1, args[0], args[1],
+                         spec=(f"fn:{name}imum", "@0", "@1"))
         if nargout >= 2:
             return reductions.minmax_with_index(rt, name, args[0])
         return reductions.reduce_op(rt, name, args[0])

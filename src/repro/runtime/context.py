@@ -39,8 +39,13 @@ class RuntimeContext:
 
     def __init__(self, comm: Comm, out: Optional[Callable[[str], None]] = None,
                  seed: int = 0, scheme: str = "block", provider=None,
-                 cache_gathers: bool = False, dist_plan=None):
+                 cache_gathers: bool = False, dist_plan=None, native=None):
         self.comm = comm
+        #: native kernel engine (repro.native.NativeEngine) or None —
+        #: when set, ``ew`` calls that carry an op-tree spec execute as
+        #: one compiled C loop instead of the numpy lambda.  Host-time
+        #: only: every virtual-clock/message charge is identical.
+        self.native = native
         #: under the ``fused`` backend one pass carries all ranks; rank 0
         #: stands in wherever a single identity is needed (I/O coordination)
         self.fused = bool(getattr(comm, "is_fused", False))
@@ -166,11 +171,17 @@ class RuntimeContext:
             return value
         return self.distribute_full(self.gather_full(value), scheme=scheme)
 
-    def gather_full(self, value: RValue, charge: bool = True) -> np.ndarray:
+    def gather_full(self, value: RValue, charge: bool = True,
+                    copy: bool = True) -> np.ndarray:
         """Assemble the full array on every rank (ML-level allgather).
 
         With ``cache_gathers`` the result is memoized on the descriptor
         (safe: descriptors are immutable) and later gathers are free.
+        ``copy=False`` is an opt-in for callers that only *read* the
+        result (transpose, circshift, ... — anything that derives a
+        fresh array from it); it skips the defensive copy of an
+        already-replicated fused array.  Charges are identical either
+        way.
         """
         if not isinstance(value, DMatrix):
             return V.as_matrix(value)
@@ -184,7 +195,9 @@ class RuntimeContext:
             per = value.cols if value.layout == "rows" else 1
             nbytes = max(value.map.counts()) * per * value.full.itemsize
             self.comm.charge_allgather(nbytes)
-            full = np.array(value.full)  # callers may scribble on it
+            # callers may scribble on the result unless they promised
+            # not to
+            full = np.array(value.full) if copy else value.full
             self.comm.compute(mem=value.numel)
             if self.cache_gathers:
                 value.replica = full
@@ -532,13 +545,20 @@ class RuntimeContext:
     # ------------------------------------------------------------------ #
 
     def ew(self, fn: Callable[..., np.ndarray], nops: int,
-           *operands: RValue) -> RValue:
+           *operands: RValue, spec=None) -> RValue:
         """Apply a fused elementwise kernel.
 
         ``fn`` receives one ndarray (or scalar) per operand and computes
         the whole statement's elementwise chain in one pass — this is the
         single generated ``for`` loop of the paper's pass 4, so the cost
         model charges ``nops`` flops per element but only *one* temporary.
+
+        ``spec`` is the statement's op tree serialized as nested tuples
+        (leaves: ``"@N"`` operand slots and numeric constants).  When a
+        native engine is attached, the chain runs as one JIT-compiled C
+        loop over the same buffers — bitwise identical by construction
+        and verification, falling back to ``fn`` per call otherwise.
+        The cost-model charges below are issued identically either way.
         """
         dists = [op for op in operands if isinstance(op, DMatrix)]
         for op in operands:
@@ -583,8 +603,12 @@ class RuntimeContext:
             # calls (elementwise ufuncs are position-independent)
             args = [op.full if isinstance(op, DMatrix) else op
                     for op in operands]
-            with np.errstate(divide="ignore", invalid="ignore"):
-                out_full = np.asarray(fn(*args))
+            out_full = None
+            if spec is not None and self.native is not None:
+                out_full = self.native.run(spec, args, fn)
+            if out_full is None:
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    out_full = np.asarray(fn(*args))
             if out_full.dtype.kind not in ("f", "c"):
                 out_full = out_full.astype(float)
             template = dists[0]
@@ -599,8 +623,12 @@ class RuntimeContext:
                 args.append(op.local)
             else:
                 args.append(op)  # replicated scalar broadcast
-        with np.errstate(divide="ignore", invalid="ignore"):
-            out_local = fn(*args)
+        out_local = None
+        if spec is not None and self.native is not None:
+            out_local = self.native.run(spec, args, fn)
+        if out_local is None:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                out_local = fn(*args)
         out_local = np.asarray(out_local)
         if out_local.dtype.kind not in ("f", "c"):
             out_local = out_local.astype(float)

@@ -58,7 +58,8 @@ def matmul(rt, a: RValue, b: RValue) -> RValue:
     rt._check_numeric(b, "*")
     a_shape, b_shape = rt.shape_of(a), rt.shape_of(b)
     if a_shape == (1, 1) or b_shape == (1, 1):
-        return rt.ew(lambda x, y: x * y, 1, a, b)
+        return rt.ew(lambda x, y: x * y, 1, a, b,
+                     spec=('.*', '@0', '@1'))
     if a_shape[1] != b_shape[0]:
         raise MatlabRuntimeError(
             f"inner matrix dimensions must agree ({a_shape} * {b_shape})")
@@ -249,7 +250,7 @@ def transpose(rt, a: RValue, conjugate: bool = True) -> RValue:
         rt.comm.overhead()
         return DMatrix(a.cols, a.rows, local.dtype, local.copy(),
                        rt.size, rt.rank, a.scheme)
-    full = rt.gather_full(a)
+    full = rt.gather_full(a, copy=False)  # read-only: copied just below
     out = full.conj().T if conjugate else full.T
     rt.comm.compute(mem=out.size)
     return rt.distribute_full(np.ascontiguousarray(out))
@@ -321,7 +322,8 @@ def matmul_t(rt, a: RValue, b: RValue, conjugate: bool = True) -> RValue:
     b_shape = rt.shape_of(b)
     if a_shape == (1, 1) or b_shape == (1, 1):
         at = transpose(rt, a, conjugate)
-        return rt.ew(lambda x, y: x * y, 1, at, b)
+        return rt.ew(lambda x, y: x * y, 1, at, b,
+                     spec=('.*', '@0', '@1'))
     if a_shape[0] != b_shape[0]:
         raise MatlabRuntimeError(
             f"inner matrix dimensions must agree "

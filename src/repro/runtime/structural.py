@@ -45,19 +45,73 @@ def repmat(rt, value: RValue, m: RValue, n: RValue) -> RValue:
     return rt.distribute_full(out) if out.size > 1 else V.simplify(out)
 
 
+def _shift_amounts(rt, shift: RValue) -> tuple[int, int | None]:
+    """MATLAB's shift argument: a scalar (shift along the first
+    non-singleton dimension) or a two-element vector ``[rows cols]``."""
+    if isinstance(shift, DMatrix):
+        shift = rt.gather_full(shift)
+    arr = V.as_matrix(shift)
+    if arr.size == 1:
+        return rt.int_scalar(shift, "circshift"), None
+    if arr.size == 2:
+        vals = [v.real if isinstance(v, complex) else v for v in arr.flat]
+        if any(float(v) != int(v) for v in vals):
+            raise MatlabRuntimeError("circshift: expected an integer")
+        return int(vals[0]), int(vals[1])
+    raise MatlabRuntimeError(
+        "circshift: shift must be a scalar or a two-element vector")
+
+
 def circshift(rt, value: RValue, shift: RValue) -> RValue:
-    k = rt.int_scalar(shift, "circshift")
+    kr, kc = _shift_amounts(rt, shift)
     if not isinstance(value, DMatrix):
         arr = V.as_matrix(value)
         rt.comm.compute(mem=arr.size)
+        if kc is not None:
+            return V.simplify(np.roll(arr, (kr, kc), axis=(0, 1)))
         axis = 1 if arr.shape[0] == 1 else 0
-        return V.simplify(np.roll(arr, k, axis=axis))
+        return V.simplify(np.roll(arr, kr, axis=axis))
+    if kc is not None:
+        return _circshift2(rt, value, kr, kc)
     if value.is_vector and value.scheme == "block":
-        return _circshift_vector(rt, value, k)
-    full = rt.gather_full(value)
+        return _circshift_vector(rt, value, kr)
+    full = rt.gather_full(value, copy=False)  # np.roll allocates fresh
     axis = 1 if value.rows == 1 else 0
     rt.comm.compute(mem=full.size)
-    return rt.distribute_full(np.roll(full, k, axis=axis))
+    return rt.distribute_full(np.roll(full, kr, axis=axis))
+
+
+def _circshift2(rt, value: DMatrix, kr: int, kc: int) -> RValue:
+    """``circshift(A, [kr kc])``: row component then column component.
+
+    A vector has one non-singleton dimension, so the matching component
+    routes through the scalar path (ring exchange and all).  For a
+    matrix the *column* component never crosses rank boundaries under
+    the row-contiguous distribution — every rank rolls its own rows
+    locally, no communication — which is what makes two-element
+    ``circshift`` the stencil-friendly way to reach horizontal
+    neighbours (the scalar form would need a transpose sandwich)."""
+    if value.is_vector:
+        k = kc if value.rows == 1 else kr
+        return circshift(rt, value, float(k))
+    if value.cols == 0 or kc % value.cols == 0:
+        kc = 0
+    if kc:
+        rt.comm.overhead()
+        if isinstance(value, FusedDMatrix):
+            rt.comm.compute_ranks(mem=value.rank_counts())
+            value = value.like_full(np.roll(value.full, kc, axis=1))
+        else:
+            rt.comm.compute(mem=value.local.size)
+            value = value.like(np.roll(value.local, kc, axis=1))
+    if value.rows == 0 or kr % value.rows == 0:
+        if kc:
+            return value
+        rt.comm.overhead()  # pure no-op shift still returns a fresh copy
+        if isinstance(value, FusedDMatrix):
+            return value.like_full(value.full.copy())
+        return value.like(value.local.copy())
+    return circshift(rt, value, float(kr))
 
 
 def _circshift_vector(rt, vec: DMatrix, k: int) -> DMatrix:

@@ -97,12 +97,18 @@ def write_chrome_trace(trace: WorldTrace, path: str,
 
 
 def pass_report(pass_timings: list[tuple[str, float]],
-                tune=None) -> str:
+                tune=None, native=None) -> str:
     """Compiler-pass timing table (host seconds; advisory).
 
     ``tune`` is an optional :class:`repro.tuning.TuneResult`; when given,
     the plan search's per-candidate cost table and winning plan are
-    appended, so a tuned run's trace summary tells the whole story."""
+    appended, so a tuned run's trace summary tells the whole story.
+
+    ``native`` is an optional ``RunResult.native`` dict (the native
+    kernel tier's counter deltas for the run): kernel compiles and
+    cache hits are host-side compiler activity, so they belong in this
+    report — never in the canonical trace stream, which the golden
+    suite pins byte-identical with the tier on or off."""
     total = sum(seconds for _name, seconds in pass_timings) or 1e-30
     out = [f"{'pass':<12s} {'time(ms)':>10s} {'%':>6s}",
            "-" * 31]
@@ -111,6 +117,20 @@ def pass_report(pass_timings: list[tuple[str, float]],
                    f"{100.0 * seconds / total:5.1f}%")
     out.append("-" * 31)
     out.append(f"{'total':<12s} {total * 1e3:10.3f} {100.0:5.1f}%")
+    if native is not None:
+        out.append("")
+        out.append(f"native kernel tier (mode {native.get('mode', 'auto')})")
+        out.append("-" * 31)
+        out.append(f"{'native calls':<18s} {native['native_calls']:>8d}")
+        out.append(f"{'kernels loaded':<18s} {native['kernels']:>8d}")
+        out.append(f"{'  compiled':<18s} {native['compiles']:>8d}")
+        out.append(f"{'  disk cache hits':<18s} {native['disk_hits']:>8d}")
+        out.append(f"{'warm call hits':<18s} {native['mem_hits']:>8d}")
+        fallbacks = (native["guard_fallbacks"] + native["verify_rejects"]
+                     + native["unsupported_specs"] + native["probe_rejects"]
+                     + native["signature_fallbacks"]
+                     + native["compile_failures"])
+        out.append(f"{'numpy fallbacks':<18s} {fallbacks:>8d}")
     if tune is not None:
         out.append("")
         out.append(tune.report())

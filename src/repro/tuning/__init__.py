@@ -21,6 +21,7 @@ from .plan import (
     GATHER_ALGOS,
     GUARD_PLACEMENTS,
     LICM_POLICIES,
+    NATIVE_MODES,
     SCHEMES,
     Plan,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "GATHER_ALGOS",
     "GUARD_PLACEMENTS",
     "LICM_POLICIES",
+    "NATIVE_MODES",
     "Plan",
     "SCHEMES",
     "TuneResult",

@@ -85,3 +85,62 @@ class TestNamedFunctions:
 
         for name in _EW_BUILTINS:
             assert name in K.FUNCS, name
+
+
+class TestPowScanFastPath:
+    """K.pow_'s complex-promotion check must not scan the arrays when a
+    scalar operand already decides the answer (the ``x .^ 2`` hot path
+    the native tier's constant rewrites rely on)."""
+
+    def _count_scans(self, a, b):
+        calls = []
+        real_any = np.any
+
+        def counting_any(*args, **kwargs):
+            calls.append(args)
+            return real_any(*args, **kwargs)
+
+        orig = K.np.any
+        K.np.any = counting_any
+        try:
+            K._pow_needs_complex(K._num(a), K._num(b))
+        finally:
+            K.np.any = orig
+        return len(calls)
+
+    def test_integral_scalar_exponent_scans_nothing(self):
+        big = np.linspace(-5.0, 5.0, 101)
+        for exp in (0.0, 1.0, 2.0, -1.0, 7.0, np.inf, -np.inf):
+            assert self._count_scans(big, exp) == 0, exp
+
+    def test_fractional_scalar_exponent_scans_base_once(self):
+        big = np.linspace(1.0, 5.0, 101)
+        assert self._count_scans(big, 0.5) == 1
+
+    def test_scalar_nonnegative_base_scans_nothing(self):
+        exps = np.linspace(-2.0, 2.0, 101)
+        assert self._count_scans(2.0, exps) == 0
+        assert self._count_scans(np.nan, exps) == 0
+
+    def test_scalar_negative_base_scans_exponents_once(self):
+        exps = np.linspace(-2.0, 2.0, 101)
+        assert self._count_scans(-2.0, exps) == 1
+
+    def test_semantics_unchanged(self):
+        # negative base, fractional exponent: complex promotion
+        out = K.pow_(np.array([-4.0, 4.0]), 0.5)
+        assert np.iscomplexobj(out)
+        np.testing.assert_allclose(out, [2j, 2.0], atol=1e-12)
+        # integral scalar exponent: stays real even with negative bases
+        out = K.pow_(np.array([-3.0, 3.0]), 2.0)
+        assert not np.iscomplexobj(out)
+        np.testing.assert_array_equal(out, [9.0, 9.0])
+        # NaN exponent with a negative base promotes (NaN is "fractional")
+        assert np.iscomplexobj(K.pow_(np.array([-2.0, 1.0]), np.nan))
+        # NaN exponent with non-negative bases stays real
+        assert not np.iscomplexobj(K.pow_(np.array([2.0, 1.0]), np.nan))
+        # infinite exponents are integral: no promotion
+        assert not np.iscomplexobj(K.pow_(np.array([-2.0, 2.0]), np.inf))
+        # array-array mixed case still promotes exactly where needed
+        out = K.pow_(np.array([-2.0, -2.0]), np.array([2.0, 2.5]))
+        assert np.iscomplexobj(out)

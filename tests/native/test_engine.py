@@ -1,0 +1,189 @@
+"""Unit tests for the native kernel engine: signature gating, semantic
+guards, content-addressed caching, first-call verification, and the
+constant-exponent power rewrites."""
+
+import numpy as np
+import pytest
+
+from repro.native import NativeEngine, find_compiler, spec_key
+from repro.native.codegen import UnsupportedSpecError, generate_source
+from repro.native.ops import spec_reference
+
+HAVE_CC = find_compiler() is not None
+
+pytestmark = pytest.mark.skipif(not HAVE_CC, reason="no C compiler")
+
+
+@pytest.fixture
+def engine(tmp_path):
+    """A fresh engine over an empty cache directory, so compile and
+    disk-hit counts are deterministic per test."""
+    eng = NativeEngine(cache_dir=str(tmp_path / "kernels"))
+    if not eng.available:
+        pytest.skip(f"native tier unavailable: {eng.unavailable_reason}")
+    return eng
+
+
+def _arr(*values):
+    return np.ascontiguousarray(values, dtype=np.float64)
+
+
+CHAIN = ("+", (".*", "@0", "@1"), 2.0)
+
+
+def run_ref(engine, spec, args):
+    return engine.run(spec, args, spec_reference(spec))
+
+
+# ---------------------------------------------------------------------- #
+# signature gate
+# ---------------------------------------------------------------------- #
+
+
+def test_rejects_complex_arrays(engine):
+    a = np.array([1 + 2j, 3 + 0j])
+    assert run_ref(engine, CHAIN, [a, _arr(1.0, 2.0)]) is None
+    assert engine.stats.snapshot()["signature_fallbacks"] == 1
+
+
+def test_rejects_complex_scalars(engine):
+    assert run_ref(engine, CHAIN, [_arr(1.0, 2.0), 3 + 4j]) is None
+    assert engine.stats.snapshot()["signature_fallbacks"] == 1
+
+
+def test_rejects_non_float64(engine):
+    a = np.array([1, 2, 3], dtype=np.int64)
+    assert run_ref(engine, CHAIN, [a, _arr(1.0, 2.0, 3.0)]) is None
+    assert engine.stats.snapshot()["signature_fallbacks"] == 1
+
+
+def test_rejects_shape_mismatch(engine):
+    assert run_ref(engine, CHAIN,
+                   [_arr(1.0, 2.0), _arr(1.0, 2.0, 3.0)]) is None
+    assert engine.stats.snapshot()["signature_fallbacks"] == 1
+
+
+def test_rejects_strided_views(engine):
+    a = np.arange(8.0)[::2]
+    assert not a.flags.c_contiguous
+    assert run_ref(engine, CHAIN, [a, np.arange(4.0)]) is None
+    assert engine.stats.snapshot()["signature_fallbacks"] == 1
+
+
+def test_rejects_pure_scalar_chains(engine):
+    assert run_ref(engine, CHAIN, [2.0, 3.0]) is None
+    assert engine.stats.snapshot()["signature_fallbacks"] == 1
+
+
+def test_scalar_broadcast_and_bool_args(engine):
+    # a (1,1) replicated scalar next to a column vector — the runtime's
+    # shapes — demotes to a C double argument
+    a = np.ascontiguousarray([[1.0], [2.0], [3.0]])
+    out = run_ref(engine, CHAIN, [a, np.array([[2.0]])])
+    ref = np.asarray(spec_reference(CHAIN)(a, np.array([[2.0]])))
+    assert out.tobytes() == ref.tobytes()
+    out2 = run_ref(engine, ("&", "@0", "@1"), [_arr(1.0, 2.0), True])
+    assert out2.tolist() == [1.0, 1.0]
+
+
+# ---------------------------------------------------------------------- #
+# semantic guards: complex promotion stays on the numpy path
+# ---------------------------------------------------------------------- #
+
+
+def test_sqrt_guard_aborts_on_negative(engine):
+    spec = ("fn:sqrt", "@0")
+    ok = run_ref(engine, spec, [_arr(4.0, 9.0)])
+    assert ok.tolist() == [2.0, 3.0]
+    assert run_ref(engine, spec, [_arr(4.0, -1.0)]) is None
+    assert engine.stats.snapshot()["guard_fallbacks"] == 1
+
+
+def test_guard_fallback_reference_promotes(engine):
+    # the numpy path the caller falls back to really does go complex
+    ref = spec_reference(("fn:sqrt", "@0"))(_arr(-4.0))
+    assert np.iscomplexobj(ref) and ref[0] == 2j
+
+
+# ---------------------------------------------------------------------- #
+# power rewrites
+# ---------------------------------------------------------------------- #
+
+
+def test_pow_const_rewrites(engine):
+    a = _arr(-3.0, 0.5, 7.0, 0.0)
+    for const in (0.0, 1.0, 2.0, -1.0):
+        spec = (".^", "@0", const)
+        out = run_ref(engine, spec, [a])
+        ref = np.asarray(spec_reference(spec)(a))
+        assert out is not None, f"a .^ {const} fell back"
+        assert out.tobytes() == ref.tobytes()
+
+
+def test_pow_fractional_exponent_unsupported(engine):
+    assert run_ref(engine, (".^", "@0", 0.5), [_arr(1.0, 4.0)]) is None
+    assert engine.stats.snapshot()["unsupported_specs"] == 1
+    with pytest.raises(UnsupportedSpecError):
+        generate_source((".^", "@0", 0.5), "a", "k_x")
+
+
+def test_unknown_op_unsupported(engine):
+    assert run_ref(engine, ("fn:erf", "@0"), [_arr(1.0, 2.0)]) is None
+    assert engine.stats.snapshot()["unsupported_specs"] == 1
+
+
+# ---------------------------------------------------------------------- #
+# caching
+# ---------------------------------------------------------------------- #
+
+
+def test_compile_once_then_memory_hits(engine):
+    a = _arr(1.0, 2.0, 3.0)
+    for _ in range(3):
+        out = run_ref(engine, CHAIN, [a, a])
+        assert out is not None
+    stats = engine.stats.snapshot()
+    assert stats["compiles"] == 1
+    assert stats["kernels"] == 1
+    assert stats["mem_hits"] == 2
+    assert stats["native_calls"] == 3
+
+
+def test_warm_disk_cache_zero_recompiles(engine, tmp_path):
+    a = _arr(1.0, 2.0, 3.0)
+    assert run_ref(engine, CHAIN, [a, a]) is not None
+    warm = NativeEngine(cache_dir=str(tmp_path / "kernels"))
+    assert run_ref(warm, CHAIN, [a, a]) is not None
+    stats = warm.stats.snapshot()
+    assert stats["compiles"] == 0, "warm cache must not recompile"
+    assert stats["disk_hits"] == 1
+
+
+def test_cache_key_separates_spec_and_signature(engine):
+    a = _arr(1.0, 2.0)
+    assert run_ref(engine, CHAIN, [a, a]) is not None       # sig "aa"
+    assert run_ref(engine, CHAIN, [a, 5.0]) is not None     # sig "as"
+    assert engine.stats.snapshot()["compiles"] == 2
+    assert spec_key(CHAIN, "aa") != spec_key(CHAIN, "as")
+    assert spec_key(CHAIN, "aa") != spec_key(("+", "@0", "@1"), "aa")
+
+
+# ---------------------------------------------------------------------- #
+# first-call verification
+# ---------------------------------------------------------------------- #
+
+
+def test_verify_mismatch_blacklists_kernel(engine):
+    a = _arr(1.0, 2.0)
+    lying = lambda x, y: x * y + 3.0  # noqa: E731 — not what CHAIN does
+    assert engine.run(CHAIN, [a, a], lying) is None
+    assert engine.stats.snapshot()["verify_rejects"] == 1
+    # permanently numpy-only, even with an honest reference later
+    assert run_ref(engine, CHAIN, [a, a]) is None
+    assert engine.stats.snapshot()["native_calls"] == 0
+
+
+def test_no_reference_means_no_native_until_verified(engine):
+    a = _arr(1.0, 2.0)
+    assert engine.run(CHAIN, [a, a], None) is None
+    assert run_ref(engine, CHAIN, [a, a]) is not None

@@ -329,6 +329,42 @@ class TestStructural:
         got = np.asarray(run_op(fn)).reshape(-1)
         np.testing.assert_array_equal(got, np.roll(np.arange(1.0, 12.0), k))
 
+    @pytest.mark.parametrize("p", PS)
+    @pytest.mark.parametrize("kr,kc", [(0, 1), (0, -3), (1, 0), (2, -1),
+                                       (-1, 2), (0, 0), (7, 9)])
+    def test_circshift_two_element(self, p, kr, kc):
+        def fn(rt):
+            a = rt.rand(7.0, 5.0)
+            shift = rt.distribute_full(np.array([[float(kr), float(kc)]]))
+            return rt.circshift(a, shift)
+
+        got = run_op(fn, p=p)
+        want = np.roll(oracle_rand((7, 5)), (kr, kc), axis=(0, 1))
+        np.testing.assert_array_equal(np.asarray(got).reshape(want.shape),
+                                      want)
+
+    @pytest.mark.parametrize("shape", [(1.0, 9.0), (9.0, 1.0)])
+    def test_circshift_two_element_vector(self, shape):
+        def fn(rt):
+            v = rt.rand(*shape)
+            shift = rt.distribute_full(np.array([[2.0, 2.0]]))
+            return rt.circshift(v, shift)
+
+        got = np.asarray(run_op(fn)).reshape(-1)
+        want = np.roll(oracle_rand(tuple(int(s) for s in shape)).reshape(-1),
+                       2)
+        np.testing.assert_array_equal(got, want)
+
+    def test_circshift_bad_shift_rejected(self):
+        def fn(rt):
+            a = rt.rand(4.0, 4.0)
+            shift = rt.distribute_full(np.array([[1.0, 2.0, 3.0]]))
+            return rt.circshift(a, shift)
+
+        # run_spmd wraps the rank's MatlabRuntimeError
+        with pytest.raises(Exception, match="two-element"):
+            run_op(fn, p=1)
+
     def test_sort_sample_sort(self):
         def fn(rt):
             v = rt.rand(1.0, 40.0)

@@ -158,6 +158,24 @@ while abs(x - cos(x)) > 1e-10
     end
 end
 """,
+    "stencil_2d_cross": """
+% two-element circshift: [rows cols] shifts reach all four neighbours
+% of a distributed matrix without a transpose sandwich
+n = 24;
+rand('seed', 7);
+a = rand(n, n);
+sh = [0, 1];
+for s = 1:6
+    north = circshift(a, [-1, 0]);
+    south = circshift(a, [1, 0]);
+    west = circshift(a, [0, -1]);
+    east = circshift(a, sh);
+    diagn = circshift(a, [2, -3]);
+    a = (north + south + west + east + diagn) ./ 5;
+end
+spread = max(max(a)) - min(min(a));
+total = sum(sum(a));
+""",
 }
 
 

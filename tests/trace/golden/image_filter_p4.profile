@@ -1,0 +1,31 @@
+  line    calls    msgs        bytes  colls   time(ms)      %  source
+------------------------------------------------------------------------------
+     1                                                         % Image filtering (the MatlabMPI benchmark family): cross-stencil blur,
+     2                                                         % unsharp mask, and gradient-magnitude edge blend over an n x n image.
+     3                                                         n = 32;
+     4                                                         steps = 2;
+     5                                                         rand('seed', 42);
+     6        1       0            0      0      0.009   0.2%  img = rand(n, n);
+     7                                                         tau = 0.08;
+     8        0       0            0      0      0.000   0.0%  sh_n = [-1, 0]; sh_s = [1, 0]; sh_w = [0, -1]; sh_e = [0, 1];
+     9                                                         for s = 1:steps
+    10        4       0            0      4      1.297  26.2%      north = circshift(img, sh_n);
+    11        4       0            0      4      1.297  26.2%      south = circshift(img, sh_s);
+    12        4       0            0      2      0.506  10.2%      west = circshift(img, sh_w);
+    13        4       0            0      2      0.506  10.2%      east = circshift(img, sh_e);
+    14        2       0            0      0      0.120   2.4%      blur = (north + south + west + east) ./ 8 + img ./ 2;
+    15        2       0            0      0      0.069   1.4%      sharp = img + 1.5 .* (img - blur);
+    16        2       0            0      0      0.086   1.7%      tone = blur .* blur .* (3 - 2 .* blur);
+    17        2       0            0      0      0.051   1.0%      gv = (south - north) ./ 2;
+    18        2       0            0      0      0.051   1.0%      gh = (east - west) ./ 2;
+    19        2       0            0      0      0.086   1.7%      mag = sqrt(gv .* gv + gh .* gh);
+    20        2       0            0      0      0.034   0.7%      edges = mag > tau;
+    21        2       0            0      0      0.086   1.7%      out = edges .* sharp + (1 - edges) .* tone;
+    22        4       0            0      0      0.069   1.4%      img = max(min(out, 1), 0);
+    23                                                         end
+    24        2       0            0      2      0.680  13.7%  total = sum(sum(img));
+    25                                                         fprintf('imgfilter: n=%d steps=%d checksum=%.9f\n', n, steps, total);
+------------------------------------------------------------------------------
+ total       39       0            0     14      4.947 100.0%  
+elapsed: 0.00494701939393939 virtual seconds
+canonical-sha256: ee7b41ad495971e9d0ace86bfc54e9165253f69b6a7bff24877d0ea4f6d15541

@@ -19,9 +19,10 @@ import os
 
 import pytest
 
-from repro.bench.workloads import conjugate_gradient
+from repro.bench.workloads import conjugate_gradient, image_filter
 from repro.compiler import compile_source
 from repro.mpi import MEIKO_CS2
+from repro.native import get_engine
 from repro.trace import canonical_events, render_source_profile
 
 BACKENDS = ("lockstep", "threads", "fused")
@@ -45,13 +46,15 @@ disp(total);
 PROGRAMS = {
     "heat_diffusion": HEAT_SRC,
     "cg": conjugate_gradient(n=64, iters=8).source,
+    "image_filter": image_filter(n=32, steps=2).source,
 }
 
 
-def _trace_text(key: str, source: str, backend: str) -> str:
+def _trace_text(key: str, source: str, backend: str,
+                native: str = None) -> str:
     program = compile_source(source, name=key)
     result = program.run(nprocs=NPROCS, machine=MEIKO_CS2,
-                         backend=backend, trace=True)
+                         backend=backend, trace=True, native=native)
     profile = render_source_profile(result.trace.line_profile(), source,
                                     filename=key, elapsed=result.elapsed)
     digest = hashlib.sha256(
@@ -92,3 +95,15 @@ def test_golden_trace_stable_across_runs(key):
     first = _trace_text(key, source, "lockstep")
     second = _trace_text(key, source, "lockstep")
     assert first == second
+
+
+@pytest.mark.skipif(not get_engine().available,
+                    reason="no C compiler / cffi: native tier unavailable")
+def test_golden_trace_native_invariant():
+    """The native kernel tier changes host time only: canonical event
+    bytes (virtual clock, messages, bytes) must be identical with the
+    tier forced off and forced on."""
+    source = PROGRAMS["image_filter"]
+    off = _trace_text("image_filter", source, "fused", native="off")
+    on = _trace_text("image_filter", source, "fused", native="require")
+    assert off == on, "native tier leaked into the canonical trace"
