@@ -65,6 +65,12 @@ class RunResult:
         return self.spmd.trace
 
     @property
+    def recovery(self):
+        """The :class:`~repro.mpi.RecoveryReport` of the run (or
+        ``None`` when no non-abort ``on_fault`` policy was active)."""
+        return self.spmd.recovery
+
+    @property
     def nprocs(self) -> int:
         return self.spmd.nprocs
 
@@ -119,6 +125,9 @@ class CompiledProgram:
             fault_plan=None,
             watchdog: float | None = None,
             trace: bool | None = None,
+            on_fault: str | None = None,
+            max_restarts: int | None = None,
+            checkpoint_every: int | None = None,
             plan=None,
             tune: bool | None = None,
             tune_budget: int | None = None,
@@ -134,7 +143,13 @@ class CompiledProgram:
         docs/RESILIENCE.md).  ``trace`` records a deterministic
         :class:`~repro.trace.WorldTrace`, surfaced on
         ``RunResult.trace`` (default ``$REPRO_TRACE``; see
-        docs/OBSERVABILITY.md).
+        docs/OBSERVABILITY.md).  ``on_fault`` selects the self-healing
+        policy for faulted runs (``"abort"``/``"retry"``/
+        ``"restart"``/``"degrade"``; ``None`` defers to
+        ``$REPRO_ON_FAULT`` then ``abort``), with ``max_restarts`` and
+        ``checkpoint_every`` tuning the restart budget and checkpoint
+        cadence; the recovery report lands on ``RunResult.recovery``
+        (see docs/RESILIENCE.md).
 
         ``plan`` applies a :class:`repro.tuning.Plan`'s *runtime* knobs
         (distribution, collective algorithms, gather caching) — the
@@ -163,7 +178,9 @@ class CompiledProgram:
             result = tuned.best_program.run(
                 nprocs=nprocs, machine=machine, seed=seed,
                 backend=backend, fault_plan=fault_plan, watchdog=watchdog,
-                trace=trace, plan=tuned.best.plan, tune=False,
+                trace=trace, on_fault=on_fault, max_restarts=max_restarts,
+                checkpoint_every=checkpoint_every,
+                plan=tuned.best.plan, tune=False,
                 native=native)
             result.tune = tuned
             return result
@@ -230,7 +247,9 @@ class CompiledProgram:
         spmd = run_spmd(nprocs, machine, rank_main, backend=backend,
                         on_fused_fallback=discard_partial_fused,
                         fault_plan=fault_plan, watchdog=watchdog,
-                        trace=trace)
+                        trace=trace, on_fault=on_fault,
+                        max_restarts=max_restarts,
+                        checkpoint_every=checkpoint_every)
         if spmd.backend == "fused":
             # one pass stood in for all ranks: its (rank-0-modeled) peak
             # applies to every rank's local share estimate

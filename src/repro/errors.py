@@ -105,6 +105,13 @@ class SpmdWatchdogError(MpiTimeoutError):
     deadlock on its own)."""
 
 
+class MpiRetryExhaustedError(MpiTimeoutError):
+    """The recovery layer's bounded retry budget ran out: a message was
+    re-sent ``max_retries`` times and the chaotic network failed every
+    attempt.  A timeout subclass because that is what the simulated
+    sender observes — its ack timer fired one time too many."""
+
+
 class MpiCorruptionError(MpiError):
     """A received message failed its integrity check (the payload was
     corrupted in transit — only injectable via a fault plan)."""

@@ -33,6 +33,7 @@ from ..errors import (
     FusionDivergence,
     MpiCorruptionError,
     MpiError,
+    MpiRetryExhaustedError,
     MpiTimeoutError,
     RankCrashedError,
     SpmdWatchdogError,
@@ -50,6 +51,17 @@ from .executor import (
 )
 from .faults import FaultPlan, FaultRule, load_plan
 from .fused import FusedComm, PerRankScalar
+from .recovery import (
+    CHECKPOINT_EVERY_ENV_VAR,
+    Checkpoint,
+    CheckpointStore,
+    MAX_RESTARTS_ENV_VAR,
+    ON_FAULT_ENV_VAR,
+    ON_FAULT_POLICIES,
+    RecoveryPolicy,
+    RecoveryReport,
+    resolve_recovery,
+)
 from .machine import (
     CpuModel,
     FATTREE_CLUSTER,
@@ -75,7 +87,10 @@ __all__ = [
     "FaultPlan", "FaultRule", "load_plan", "resolve_fault_plan",
     "resolve_watchdog", "FAULT_PLAN_ENV_VAR", "WATCHDOG_ENV_VAR",
     "MpiTimeoutError", "SpmdWatchdogError", "MpiCorruptionError",
-    "RankCrashedError",
+    "RankCrashedError", "MpiRetryExhaustedError",
+    "RecoveryPolicy", "RecoveryReport", "Checkpoint", "CheckpointStore",
+    "resolve_recovery", "ON_FAULT_POLICIES", "ON_FAULT_ENV_VAR",
+    "MAX_RESTARTS_ENV_VAR", "CHECKPOINT_EVERY_ENV_VAR",
     "CpuModel", "Link", "MachineModel", "MACHINES",
     "MEIKO_CS2", "SUN_ENTERPRISE", "SPARC20_CLUSTER",
     "FATTREE_CLUSTER", "GPU_CLUSTER", "get_machine",

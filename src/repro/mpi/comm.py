@@ -34,10 +34,12 @@ from typing import Any, Callable, Optional
 
 import numpy as np
 
-from ..errors import MpiCorruptionError, MpiError, MpiTimeoutError
+from ..errors import MpiCorruptionError, MpiError, MpiRetryExhaustedError, \
+    MpiTimeoutError
 from .datatypes import sizeof
 from .faults import FaultState, payload_checksum
 from .machine import MachineModel
+from .recovery import retry_backoff
 
 ANY_SOURCE = -1
 ANY_TAG = -1
@@ -139,7 +141,8 @@ class World:
     """
 
     def __init__(self, nprocs: int, machine: MachineModel, scheduler=None,
-                 fault_plan=None, trace=None):
+                 fault_plan=None, trace=None, fault_state=None,
+                 recovery=None, start_time: float = 0.0):
         if nprocs < 1:
             raise MpiError("need at least one process")
         if nprocs > machine.max_cpus:
@@ -153,27 +156,45 @@ class World:
         #: each rank's Comm caches its own recorder and the substrate
         #: records events (None: every trace hook is one dead branch)
         self.trace = trace
+        #: cross-attempt recovery state
+        #: (:class:`~repro.mpi.recovery.ActiveRecovery`) when a
+        #: non-abort ``on_fault`` policy is active, else ``None`` —
+        #: the retry loop and checkpoint hook both key off this
+        self.recovery = recovery
         # chaos: a seeded FaultPlan makes every send/recv/sync consult
-        # FaultState; a plan with no injectable rules costs nothing
+        # FaultState; a plan with no injectable rules costs nothing.
+        # A restart attempt passes the *carried* fault_state so fired
+        # one-shot rules stay consumed across the replay.
         self.faults: Optional[FaultState] = None
         self.virtual_timeout: Optional[float] = None
         if fault_plan is not None:
             self.virtual_timeout = fault_plan.virtual_timeout
-            if fault_plan.has_faults:
+            if fault_state is not None:
+                self.faults = fault_state
+            elif fault_plan.has_faults:
                 self.faults = FaultState(fault_plan, nprocs)
-                if trace is not None:
-                    # injected-fault events join the trace stream (the
-                    # CLI echoes to stderr only when no recorder exists)
-                    recorders = trace.recorders
-                    self.faults.sink = (
-                        lambda rank, text, now:
-                        recorders[rank].fault(text, now))
+        if self.faults is not None:
+            if trace is not None:
+                # injected-fault events join the trace stream (the
+                # CLI echoes to stderr only when no recorder exists)
+                recorders = trace.recorders
+                self.faults.sink = (
+                    lambda rank, text, now:
+                    recorders[rank].fault(text, now))
+            else:
+                # a carried fault_state may still point at a discarded
+                # attempt's recorders
+                self.faults.sink = None
+        #: uniform clock base of this execution attempt (0.0 except on
+        #: recovery restarts, where it encodes the failed prefix +
+        #: restart overhead - checkpoint credit)
+        self.start_time = float(start_time)
         #: per-rank virtual clocks.  A rank-indexed float64 array so the
         #: fused backend can charge all P ranks with one vector
         #: expression; scalar indexing (``clocks[r] += dt``) keeps the
         #: lockstep/threads per-rank view and is bit-identical to the
         #: old Python-list arithmetic (IEEE float64 either way).
-        self.clocks = np.zeros(nprocs, dtype=np.float64)
+        self.clocks = np.full(nprocs, self.start_time, dtype=np.float64)
         self.cond = threading.Condition()
         # (src, dst, tag) -> deque of (payload, arrival_time, nbytes,
         # checksum); the wire size is computed once at send time and
@@ -203,6 +224,9 @@ class World:
         self.rank_messages = np.zeros(nprocs, dtype=np.int64)
         self.rank_bytes = np.zeros(nprocs, dtype=np.int64)
         self.rank_collectives = np.zeros(nprocs, dtype=np.int64)
+        #: message re-sends by the recovery layer (zero unless a
+        #: non-abort on_fault policy healed a drop/corrupt fault)
+        self.rank_retries = np.zeros(nprocs, dtype=np.int64)
         self.collectives = 0
         self.collective_counts: dict[str, int] = {}
 
@@ -306,6 +330,14 @@ class World:
         self.rank_collectives += 1
         if op is not None:
             self._count(op)
+        recovery = self.recovery
+        if (recovery is not None and recovery.policy.checkpoint_every
+                and self.collectives
+                % recovery.policy.checkpoint_every == 0):
+            # collective boundaries are the only instants where every
+            # rank's position is known (all contributions are in), so
+            # they are where snapshots are consistent
+            recovery.store.take(self, tnew, recovery.attempt)
 
     def sync(self, rank: int, contribution: Any,
              combine: Callable[[list, float], tuple[Any, float]],
@@ -567,18 +599,44 @@ class Comm:
         is charged either way — it cannot tell the wire lost it)."""
         world = self.world
         faults = world.faults
+        rec = self._rec
         checksum = None
         copies = 1
         extra_delay = 0.0
         delivered = True
         if faults is not None:
             faults.check_crash(self.rank, "send", world.clocks[self.rank])
-            fate = faults.on_message(self.rank, dest, tag, nbytes,
-                                     world.clocks[self.rank], obj)
+            recovery = world.recovery
+            retrying = (recovery is not None
+                        and recovery.policy.retries_enabled)
+            attempt = 0
+            penalty = 0.0
+            while True:
+                fate = faults.on_message(
+                    self.rank, dest, tag, nbytes,
+                    world.clocks[self.rank] + penalty, obj)
+                if not retrying or (fate.deliver and not fate.corrupted):
+                    break
+                if attempt >= recovery.policy.max_retries:
+                    raise MpiRetryExhaustedError(
+                        f"rank {self.rank} -> rank {dest} (tag {tag}, "
+                        f"{nbytes} B): retry budget exhausted after "
+                        f"{recovery.policy.max_retries} re-sends — "
+                        f"every attempt was "
+                        f"{'corrupted' if fate.deliver else 'dropped'}")
+                # the simulated transport notices the failure — ack
+                # timeout for a drop, checksum NACK for corruption —
+                # and re-sends with seeded exponential backoff.  The
+                # lost attempt is charged honestly: its bytes crossed
+                # (or tried to cross) the wire, and the detection +
+                # backoff latency delays the eventual delivery.
+                penalty += self._retry_cost(dest, nbytes, fate,
+                                            attempt, recovery, faults)
+                attempt += 1
             obj = fate.payload
             checksum = fate.checksum
             copies = fate.copies
-            extra_delay = fate.extra_delay
+            extra_delay = fate.extra_delay + penalty
             delivered = fate.deliver
         t_send = world.clocks[self.rank]
         arrival = t_send + self.machine.p2p_time(self.rank, dest, nbytes) \
@@ -588,7 +646,6 @@ class Comm:
             self.machine.link_between(self.rank, dest).latency * 0.5
         world.rank_messages[self.rank] += 1
         world.rank_bytes[self.rank] += nbytes
-        rec = self._rec
         if rec is not None:
             rec.send(self.line, t_send, world.clocks[self.rank] - t_send,
                      dest, tag, nbytes)
@@ -607,6 +664,46 @@ class Comm:
                 rec.extra_copies(self.line, copies - 1,
                                  nbytes * (copies - 1))
         return True
+
+    def _retry_cost(self, dest: int, nbytes: int, fate, attempt: int,
+                    recovery, faults: FaultState) -> float:
+        """Account one failed send attempt and price its recovery.
+
+        Returns the virtual seconds between the failed attempt and the
+        re-send: the transport's detection latency (an ack timeout of
+        ``rto_factor`` link latencies for a drop; a full payload
+        crossing plus a NACK hop for corruption — the mangled bytes
+        *did* travel) plus seeded exponential backoff.  The failed
+        attempt's wire traffic is charged to the per-rank accounting
+        arrays, and the retry is logged to the fault event stream and
+        the trace."""
+        world = self.world
+        rank = self.rank
+        link = self.machine.link_between(rank, dest)
+        if fate.deliver:    # corrupted: payload crossed, NACK came back
+            detect = self.machine.p2p_time(rank, dest, nbytes) \
+                + link.latency
+            why = "corrupt"
+        else:               # dropped: the sender's ack timer fired
+            detect = recovery.policy.rto_factor * link.latency
+            why = "drop"
+        backoff = retry_backoff(faults.plan.seed, rank,
+                                recovery.next_retry_seq(rank), attempt,
+                                link.latency)
+        cost = detect + backoff
+        world.rank_messages[rank] += 1
+        world.rank_bytes[rank] += nbytes
+        world.rank_retries[rank] += 1
+        now = world.clocks[rank]
+        faults._log(rank, f"retry {why} rank {rank}->rank {dest} "
+                          f"attempt={attempt + 1} cost={cost:.9g}", now)
+        recovery.note(f"retry {why} rank {rank}->rank {dest} "
+                      f"attempt={attempt + 1} cost={cost:.9g}")
+        rec = self._rec
+        if rec is not None:
+            rec.recovery("retry", now, dest=dest, cause=why,
+                         attempt=attempt + 1, cost=cost, bytes=nbytes)
+        return cost
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
              status: Optional[Status] = None) -> Any:

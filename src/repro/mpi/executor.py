@@ -30,6 +30,17 @@ Two backends execute the rank programs (``backend=`` argument, or the
     path), the run raises :class:`~repro.errors.FusionDivergence` and
     ``run_spmd`` transparently re-runs it under ``lockstep`` — fusion is
     an optimization, never a semantics change.
+
+Self-healing (``on_fault=`` / ``$REPRO_ON_FAULT``; see
+:mod:`repro.mpi.recovery` and docs/RESILIENCE.md): with a non-abort
+policy, a faulted run retries dropped/corrupted messages at the comm
+layer, and — under ``restart``/``degrade`` — replays terminal faults
+(crashes, timeouts, fault-induced deadlocks) from the last checkpoint
+up to ``max_restarts`` times, with ``degrade`` returning a partial
+result carrying a :class:`~repro.mpi.recovery.RecoveryReport` instead
+of raising when the budget runs out.  One host-watchdog budget covers
+the *whole* call: the fused attempt, any lockstep fallback, and every
+restart attempt draw down the same allowance.
 """
 
 from __future__ import annotations
@@ -40,13 +51,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-from ..errors import FusionDivergence, MpiError, MpiTimeoutError, \
-    SpmdWatchdogError
+from ..errors import FusionDivergence, MpiCorruptionError, MpiError, \
+    MpiTimeoutError, RankCrashedError, SpmdWatchdogError
 from .comm import Comm, World, _Abort
-from .faults import FaultPlan, load_plan
+from .faults import FaultPlan, FaultState, load_plan
 from .fused import FusedComm
 from .machine import MachineModel
-from .scheduler import LockstepScheduler
+from .recovery import ActiveRecovery, RecoveryReport, resolve_recovery
+from .scheduler import DeadlockError, LockstepScheduler
 
 BACKENDS = ("lockstep", "threads", "fused")
 
@@ -162,11 +174,20 @@ class SpmdResult:
     collective_counts: dict[str, int] = field(default_factory=dict)
     backend: str = "lockstep"
     #: deterministic log of injected chaos events (rank order), empty
-    #: when no fault plan was active
+    #: when no fault plan was active; spans *every* restart attempt
     fault_events: list[str] = field(default_factory=list)
     #: the :class:`~repro.trace.WorldTrace` recorded for this run, or
     #: ``None`` when tracing was off (the default)
     trace: Optional[Any] = None
+    #: structured self-healing account
+    #: (:class:`~repro.mpi.recovery.RecoveryReport`) when a non-abort
+    #: ``on_fault`` policy was active, else ``None``.  On a ``degrade``
+    #: outcome ``recovery.degraded`` is True and per-rank ``results``
+    #: may contain ``None`` for ranks that never finished.
+    recovery: Optional[RecoveryReport] = None
+    #: per-rank message re-send counts from the retry layer (all zeros
+    #: unless retries healed something this attempt)
+    rank_retries: list[int] = field(default_factory=list)
 
     @property
     def elapsed(self) -> float:
@@ -174,82 +195,106 @@ class SpmdResult:
         return max(self.times) if self.times else 0.0
 
 
-def run_spmd(nprocs: int, machine: MachineModel,
-             fn: Callable[..., Any], *args: Any,
-             backend: Optional[str] = None,
-             on_fused_fallback: Optional[Callable[[], Any]] = None,
-             fault_plan=None,
-             watchdog: Optional[float] = None,
-             trace: Optional[bool] = None,
-             **kwargs: Any) -> SpmdResult:
-    """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` simulated ranks.
+def _arm_watchdog(world: World, scheduler, budget: float,
+                  total: Optional[float] = None) -> threading.Timer:
+    """Start the host-wall-clock watchdog for one execution attempt.
+    The timer fires after ``budget`` (the *remaining* allowance — one
+    budget spans fused attempt, fallback, and restarts) but the
+    diagnostic names ``total``, the allowance the caller configured.
+    The timer aborts the *world*; blocked ranks unwind through the
+    normal abort path, and the fused backend checks the abort flag at
+    every collective charge."""
+    if total is None:
+        total = budget
 
-    ``on_fused_fallback`` is invoked (if given) when a ``fused`` run
-    diverges, *before* the lockstep re-run — callers use it to discard
-    any partial side effects the aborted fused pass left behind.
+    def _expire() -> None:
+        graph = world.wait_snapshot()
+        exc = SpmdWatchdogError(
+            f"SPMD watchdog expired after {total:g}s host time; "
+            f"aborting the run instead of hanging",
+            wait_graph=graph or None)
+        world.abort(exc)
+        if scheduler is not None:
+            scheduler.abort()
 
-    ``fault_plan`` (a :class:`~repro.mpi.faults.FaultPlan`, inline spec
-    string, or path; default ``$REPRO_FAULT_PLAN``) injects a
-    deterministic chaos schedule.  ``watchdog`` (seconds, default
-    ``$REPRO_WATCHDOG_SECONDS``) aborts the run with a structured
-    :class:`~repro.errors.SpmdWatchdogError` if it exceeds that much
-    *host* wall-clock time — the safety net that keeps the free-running
-    ``threads`` backend from hanging CI.  See docs/RESILIENCE.md.
+    timer = threading.Timer(budget, _expire)
+    timer.daemon = True
+    timer.start()
+    return timer
 
-    ``trace`` (default ``$REPRO_TRACE``) records a deterministic
-    :class:`~repro.trace.WorldTrace` of the run, returned on
-    ``SpmdResult.trace``.  See docs/OBSERVABILITY.md.
-    """
-    backend = resolve_backend(backend)
-    plan = resolve_fault_plan(fault_plan)
-    watchdog = resolve_watchdog(watchdog)
-    tracing = resolve_trace(trace)
 
-    def new_trace():
-        from ..trace import WorldTrace
+def _recoverable(exc: BaseException, plan: Optional[FaultPlan]) -> bool:
+    """Is this failure one the recovery layer may heal by replaying?
 
-        wt = WorldTrace(nprocs)
-        wt.meta.update(backend=backend, machine=machine.name,
-                       nprocs=nprocs)
-        return wt
+    Only fault-induced structured failures qualify — and only when a
+    fault plan was active (a deadlock in a healthy program is a program
+    bug; replaying it would loop).  The host watchdog is never
+    recoverable: its budget is already spent."""
+    if plan is None or isinstance(exc, SpmdWatchdogError):
+        return False
+    return isinstance(exc, (RankCrashedError, MpiCorruptionError,
+                            MpiTimeoutError, DeadlockError))
 
-    if backend == "fused":
-        world_trace = new_trace() if tracing else None
-        try:
-            comm = FusedComm(nprocs, machine,  # validates nprocs/machine
-                             fault_plan=plan, trace=world_trace)
-            result = fn(comm, *args, **kwargs)
-        except FusionDivergence:
-            # rank-dependent program — or a chaos plan, whose fault
-            # schedule is inherently rank-dependent: re-run honestly
-            # (with a fresh trace; the aborted fused pass is discarded
-            # along with its World)
-            if on_fused_fallback is not None:
-                on_fused_fallback()
-            return run_spmd(nprocs, machine, fn, *args,
-                            backend="lockstep", fault_plan=plan,
-                            watchdog=watchdog, trace=tracing, **kwargs)
-        except MpiError:
-            raise  # substrate diagnostics keep their structured type
-        except BaseException as exc:  # noqa: BLE001 - parity with lockstep
-            raise MpiError(f"rank 0 failed: {exc}") from exc
-        world = comm.world
-        return SpmdResult(
-            results=[result] * nprocs,
-            times=world.clocks.tolist(),
-            machine=machine,
-            nprocs=nprocs,
-            messages_sent=world.messages_sent,
-            bytes_sent=world.bytes_sent,
-            collectives=world.collectives,
-            collective_counts=dict(world.collective_counts),
-            backend="fused",
-            trace=world_trace,
-        )
+
+def _select_error(world: World,
+                  errors: list[tuple[int, BaseException]]
+                  ) -> Optional[BaseException]:
+    """The exception one attempt should surface (or ``None``): the
+    lowest failing rank wins, non-MPI errors are wrapped exactly as the
+    historical raise sites did — built without raising so the recovery
+    loop can decide whether it heals or surfaces."""
+    if errors:
+        rank, exc = min(errors, key=lambda pair: pair[0])
+        if isinstance(exc, MpiError):
+            return exc
+        wrapped = MpiError(f"rank {rank} failed: {exc}")
+        wrapped.__cause__ = exc
+        wrapped.__suppress_context__ = True
+        return wrapped
+    if world.aborted is not None:
+        # no rank raised, yet the world aborted: the scheduler detected
+        # a deadlock (or the watchdog fired) and recorded the cause
+        if isinstance(world.aborted, MpiError):
+            return world.aborted
+        wrapped = MpiError(f"SPMD run aborted: {world.aborted}")
+        wrapped.__cause__ = world.aborted
+        wrapped.__suppress_context__ = True
+        return wrapped
+    return None
+
+
+def _unconsumed(world: World) -> Optional[MpiError]:
+    """Chaos left messages on the wire that no rank ever received
+    (e.g. duplicates): a protocol anomaly, reported deterministically."""
+    if world.faults is not None and any(world.mailboxes.values()):
+        leftovers = ", ".join(
+            f"rank {src}->rank {dst} tag={tag} x{len(queue)}"
+            for (src, dst, tag), queue in sorted(world.mailboxes.items())
+            if queue)
+        return MpiError(
+            f"unconsumed messages after faulted run: {leftovers}")
+    return None
+
+
+def _run_attempt(nprocs: int, machine: MachineModel, fn: Callable,
+                 args: tuple, kwargs: dict, backend: str,
+                 plan: Optional[FaultPlan],
+                 fault_state: Optional[FaultState],
+                 recovery: Optional[ActiveRecovery],
+                 start_base: float, world_trace,
+                 budget: Optional[float],
+                 watchdog_total: Optional[float] = None):
+    """One execution attempt of the threaded backends.
+
+    Builds a fresh world (carrying the cross-attempt fault state, so
+    fired one-shot rules stay consumed on replay, and the recovery
+    ledger), runs every rank, and returns ``(world, results, error)``
+    without raising for rank failures — the caller's recovery loop
+    decides what heals and what surfaces."""
     scheduler = LockstepScheduler(nprocs) if backend == "lockstep" else None
-    world_trace = new_trace() if tracing else None
     world = World(nprocs, machine, scheduler=scheduler, fault_plan=plan,
-                  trace=world_trace)
+                  trace=world_trace, fault_state=fault_state,
+                  recovery=recovery, start_time=start_base)
     if scheduler is not None:
         scheduler.trace = world_trace
         scheduler.on_deadlock = world.abort
@@ -282,20 +327,8 @@ def run_spmd(nprocs: int, machine: MachineModel,
                 scheduler.finish_rank(rank)
 
     timer: Optional[threading.Timer] = None
-    if watchdog is not None:
-        def _expire() -> None:
-            graph = world.wait_snapshot()
-            exc = SpmdWatchdogError(
-                f"SPMD watchdog expired after {watchdog:g}s host time; "
-                f"aborting the run instead of hanging",
-                wait_graph=graph or None)
-            world.abort(exc)
-            if scheduler is not None:
-                scheduler.abort()
-
-        timer = threading.Timer(watchdog, _expire)
-        timer.daemon = True
-        timer.start()
+    if budget is not None:
+        timer = _arm_watchdog(world, scheduler, budget, watchdog_total)
     try:
         if scheduler is not None:
             scheduler.kickoff()
@@ -326,40 +359,214 @@ def run_spmd(nprocs: int, machine: MachineModel,
     finally:
         if timer is not None:
             timer.cancel()
+    return world, results, _select_error(world, errors)
 
-    if errors:
-        rank, exc = min(errors, key=lambda pair: pair[0])
-        if isinstance(exc, MpiError):
-            raise exc  # structured substrate diagnostic: keep the type
-        raise MpiError(f"rank {rank} failed: {exc}") from exc
-    if world.aborted is not None:
-        # no rank raised, yet the world aborted: the scheduler detected
-        # a deadlock (or the watchdog fired) and recorded the cause
-        if isinstance(world.aborted, MpiError):
-            raise world.aborted
-        raise MpiError(
-            f"SPMD run aborted: {world.aborted}") from world.aborted
-    if world.faults is not None and any(world.mailboxes.values()):
-        # chaos left messages on the wire that no rank ever received
-        # (e.g. duplicates): a protocol anomaly, reported deterministically
-        leftovers = ", ".join(
-            f"rank {src}->rank {dst} tag={tag} x{len(queue)}"
-            for (src, dst, tag), queue in sorted(world.mailboxes.items())
-            if queue)
-        raise MpiError(
-            f"unconsumed messages after faulted run: {leftovers}")
 
-    return SpmdResult(
-        results=results,
-        times=world.clocks.tolist(),
-        machine=machine,
-        nprocs=nprocs,
-        messages_sent=world.messages_sent,
-        bytes_sent=world.bytes_sent,
-        collectives=world.collectives,
-        collective_counts=dict(world.collective_counts),
-        backend=backend,
-        fault_events=world.faults.events if world.faults is not None
-        else [],
-        trace=world_trace,
-    )
+def run_spmd(nprocs: int, machine: MachineModel,
+             fn: Callable[..., Any], *args: Any,
+             backend: Optional[str] = None,
+             on_fused_fallback: Optional[Callable[[], Any]] = None,
+             fault_plan=None,
+             watchdog: Optional[float] = None,
+             trace: Optional[bool] = None,
+             on_fault: Optional[str] = None,
+             max_restarts: Optional[int] = None,
+             checkpoint_every: Optional[int] = None,
+             **kwargs: Any) -> SpmdResult:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` simulated ranks.
+
+    ``on_fused_fallback`` is invoked (if given) when a ``fused`` run
+    diverges, *before* the lockstep re-run — and again before each
+    recovery restart attempt — callers use it to discard any partial
+    side effects the aborted pass left behind.
+
+    ``fault_plan`` (a :class:`~repro.mpi.faults.FaultPlan`, inline spec
+    string, or path; default ``$REPRO_FAULT_PLAN``) injects a
+    deterministic chaos schedule.  ``watchdog`` (seconds, default
+    ``$REPRO_WATCHDOG_SECONDS``) aborts the run with a structured
+    :class:`~repro.errors.SpmdWatchdogError` if it exceeds that much
+    *host* wall-clock time; one budget covers the fused attempt, any
+    lockstep fallback, and every restart.  See docs/RESILIENCE.md.
+
+    ``on_fault`` / ``max_restarts`` / ``checkpoint_every`` (defaults
+    ``$REPRO_ON_FAULT`` / ``$REPRO_MAX_RESTARTS`` /
+    ``$REPRO_CHECKPOINT_EVERY``) select the self-healing policy; the
+    default ``"abort"`` reproduces the historical fail-fast behavior
+    exactly.  See :mod:`repro.mpi.recovery`.
+
+    ``trace`` (default ``$REPRO_TRACE``) records a deterministic
+    :class:`~repro.trace.WorldTrace` of the run, returned on
+    ``SpmdResult.trace``.  See docs/OBSERVABILITY.md.
+    """
+    backend = resolve_backend(backend)
+    plan = resolve_fault_plan(fault_plan)
+    watchdog = resolve_watchdog(watchdog)
+    tracing = resolve_trace(trace)
+    policy = resolve_recovery(on_fault, max_restarts, checkpoint_every)
+    recovery: Optional[ActiveRecovery] = None
+    if policy.active and plan is not None:
+        # without a plan there is nothing injectable to heal — the
+        # policy stays inert and healthy runs pay nothing
+        recovery = ActiveRecovery(policy, nprocs, seed=plan.seed)
+    deadline = time.monotonic() + watchdog if watchdog is not None \
+        else None
+
+    def budget_left(what: str) -> Optional[float]:
+        """Remaining host-watchdog budget, raising once exhausted so a
+        fallback/restart never gets a fresh allowance."""
+        if deadline is None:
+            return None
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise SpmdWatchdogError(
+                f"SPMD watchdog expired after {watchdog:g}s host time: "
+                f"budget exhausted before {what}")
+        return remaining
+
+    def new_trace():
+        from ..trace import WorldTrace
+
+        wt = WorldTrace(nprocs)
+        wt.meta.update(backend=backend, machine=machine.name,
+                       nprocs=nprocs)
+        return wt
+
+    if backend == "fused":
+        world_trace = new_trace() if tracing else None
+        timer: Optional[threading.Timer] = None
+        try:
+            try:
+                comm = FusedComm(nprocs, machine,  # validates nprocs
+                                 fault_plan=plan, trace=world_trace,
+                                 recovery=recovery)
+                if watchdog is not None:
+                    timer = _arm_watchdog(comm.world, None, watchdog)
+                result = fn(comm, *args, **kwargs)
+                if comm.world.aborted is not None:
+                    raise comm.world.aborted
+            except FusionDivergence:
+                # rank-dependent program — or a chaos plan, whose fault
+                # schedule is inherently rank-dependent: re-run honestly
+                # (with a fresh trace; the aborted fused pass is
+                # discarded along with its World).  The re-run inherits
+                # the *remaining* watchdog budget: one budget covers
+                # the whole call, never a fresh allowance per attempt.
+                if timer is not None:
+                    timer.cancel()
+                    timer = None
+                if on_fused_fallback is not None:
+                    on_fused_fallback()
+                remaining = budget_left("the lockstep re-run")
+                return run_spmd(nprocs, machine, fn, *args,
+                                backend="lockstep",
+                                on_fused_fallback=on_fused_fallback,
+                                fault_plan=plan, watchdog=remaining,
+                                trace=tracing, on_fault=policy.on_fault,
+                                max_restarts=policy.max_restarts,
+                                checkpoint_every=policy.checkpoint_every,
+                                **kwargs)
+            except MpiError:
+                raise  # substrate diagnostics keep their structured type
+            except BaseException as exc:  # noqa: BLE001 - lockstep parity
+                raise MpiError(f"rank 0 failed: {exc}") from exc
+        finally:
+            if timer is not None:
+                timer.cancel()
+        world = comm.world
+        report: Optional[RecoveryReport] = None
+        if recovery is not None:
+            recovery.finish_attempt(world, "completed", None)
+            report = recovery.report
+        return SpmdResult(
+            results=[result] * nprocs,
+            times=world.clocks.tolist(),
+            machine=machine,
+            nprocs=nprocs,
+            messages_sent=world.messages_sent,
+            bytes_sent=world.bytes_sent,
+            collectives=world.collectives,
+            collective_counts=dict(world.collective_counts),
+            backend="fused",
+            trace=world_trace,
+            recovery=report,
+            rank_retries=world.rank_retries.tolist(),
+        )
+
+    fault_state: Optional[FaultState] = None
+    if plan is not None and plan.has_faults:
+        # built once and carried across restart attempts: fired
+        # one-shot rules (step=/count=) stay consumed, so a replay does
+        # not re-trip the crash it is recovering from
+        fault_state = FaultState(plan, nprocs)
+
+    while True:
+        attempt_no = recovery.attempt if recovery is not None else 0
+        budget = budget_left(f"execution attempt {attempt_no}") \
+            if deadline is not None else None
+        world_trace = new_trace() if tracing else None
+        if recovery is not None:
+            recovery.stamp_pending(world_trace)
+        start_base = recovery.start_base if recovery is not None else 0.0
+        world, results, exc = _run_attempt(
+            nprocs, machine, fn, args, kwargs, backend, plan,
+            fault_state, recovery, start_base, world_trace, budget,
+            watchdog)
+
+        anomaly = None
+        if exc is None:
+            anomaly = _unconsumed(world)
+            exc = anomaly
+        # degrade only swallows fault-induced failures (and the
+        # unconsumed-message anomaly, which only chaos can produce) —
+        # a user program bug always surfaces
+        degraded_ok = (exc is not None and recovery is not None
+                       and policy.degrade
+                       and (anomaly is not None
+                            or _recoverable(exc, plan)))
+        if exc is None or degraded_ok:
+            may_restart = (exc is not None and recovery is not None
+                           and policy.restarts_enabled
+                           and _recoverable(exc, plan)
+                           and recovery.attempt < policy.max_restarts)
+            if not may_restart:
+                report = None
+                if recovery is not None:
+                    outcome = "completed" if exc is None else "degraded"
+                    recovery.finish_attempt(world, outcome, exc)
+                    if exc is not None:
+                        recovery.report.degraded = True
+                        recovery.report.error = \
+                            f"{type(exc).__name__}: {exc}".splitlines()[0]
+                        recovery.note(f"degrade: {type(exc).__name__}")
+                        if world_trace is not None:
+                            world_trace.recorders[0].recovery(
+                                "degrade", float(world.clocks.max()),
+                                error=type(exc).__name__)
+                    report = recovery.report
+                return SpmdResult(
+                    results=results,
+                    times=world.clocks.tolist(),
+                    machine=machine,
+                    nprocs=nprocs,
+                    messages_sent=world.messages_sent,
+                    bytes_sent=world.bytes_sent,
+                    collectives=world.collectives,
+                    collective_counts=dict(world.collective_counts),
+                    backend=backend,
+                    fault_events=world.faults.events
+                    if world.faults is not None else [],
+                    trace=world_trace,
+                    recovery=report,
+                    rank_retries=world.rank_retries.tolist(),
+                )
+
+        # the attempt failed: heal if the policy and budgets allow
+        if recovery is not None and _recoverable(exc, plan):
+            recovery.finish_attempt(world, "failed", exc)
+            if (policy.restarts_enabled
+                    and recovery.attempt < policy.max_restarts):
+                recovery.plan_restart(world, machine, exc)
+                if on_fused_fallback is not None:
+                    on_fused_fallback()  # discard partial side effects
+                continue
+        raise exc

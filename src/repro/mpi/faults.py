@@ -123,21 +123,79 @@ def corrupt_payload(obj: Any, salt: int) -> tuple[Any, bool]:
 # ------------------------------------------------------------------------- #
 
 
+def _scope_matches(scope, value: int) -> bool:
+    """Does a rank/dest scope (``None`` wildcard, single int, or an
+    inclusive ``(lo, hi)`` range) cover ``value``?"""
+    if scope is None:
+        return True
+    if isinstance(scope, tuple):
+        return scope[0] <= value <= scope[1]
+    return scope == value
+
+
+def _scope_interval(scope) -> tuple[float, float]:
+    if scope is None:
+        return (-math.inf, math.inf)
+    if isinstance(scope, tuple):
+        return (scope[0], scope[1])
+    return (scope, scope)
+
+
+def _scopes_overlap(a, b) -> bool:
+    """Do two rank scopes cover at least one common rank?"""
+    alo, ahi = _scope_interval(a)
+    blo, bhi = _scope_interval(b)
+    return alo <= bhi and blo <= ahi
+
+
+def _scope_str(scope) -> str:
+    if isinstance(scope, tuple):
+        return f"{scope[0]}-{scope[1]}"
+    return str(scope)
+
+
+def _check_scope(scope, what: str) -> None:
+    """Eagerly reject malformed rank/dest scopes (negative ranks,
+    inverted ranges) so a bad plan fails at load time with a message
+    naming the field, never mid-run."""
+    if scope is None:
+        return
+    if isinstance(scope, tuple):
+        lo, hi = scope
+        if lo < 0 or hi < 0:
+            raise MpiError(
+                f"fault plan: {what} range {lo}-{hi} has a negative "
+                f"rank (ranks are >= 0)")
+        if lo > hi:
+            raise MpiError(
+                f"fault plan: {what} range {lo}-{hi} is inverted "
+                f"(write {hi}-{lo})")
+    elif scope < 0:
+        raise MpiError(
+            f"fault plan: {what}={scope} is negative (ranks are >= 0)")
+
+
 @dataclass(frozen=True)
 class FaultRule:
     """One injectable fault, scoped by rank/destination/tag/op/time.
 
     ``rank`` is the *acting* rank: the sender for message faults, the
-    victim for crashes.  ``None`` scope fields match anything.
-    ``probability`` < 1 samples deterministically from the plan seed;
-    ``count`` caps fires **per rank** (per-rank scoping is what keeps
-    schedules identical across backends).  ``step`` (1-based) makes a
-    crash fire at the rank's N-th matching operation.
+    victim for crashes.  ``None`` scope fields match anything; ``rank``
+    and ``dest`` also accept an inclusive ``(lo, hi)`` range (spelled
+    ``rank=lo-hi`` in the text format).  ``probability`` < 1 samples
+    deterministically from the plan seed; ``count`` caps fires **per
+    rank** (per-rank scoping is what keeps schedules identical across
+    backends).  ``step`` (1-based) makes a crash fire at the rank's
+    N-th matching operation.
+
+    Every field is validated eagerly at construction — a malformed plan
+    fails when it is *loaded*, with a message naming the offending
+    field, never as a mid-run surprise.
     """
 
     kind: str
-    rank: Optional[int] = None
-    dest: Optional[int] = None
+    rank: Any = None        # None | int | (lo, hi) inclusive
+    dest: Any = None        # None | int | (lo, hi) inclusive
     tag: Optional[int] = None
     op: Optional[str] = None
     t_min: float = 0.0
@@ -153,10 +211,38 @@ class FaultRule:
                            f"(expected one of {', '.join(KINDS)})")
         if self.kind == "crash" and self.rank is None:
             raise MpiError("crash faults need an explicit rank= scope")
+        _check_scope(self.rank, "rank")
+        _check_scope(self.dest, "dst")
+        if self.tag is not None and self.tag < 0:
+            raise MpiError(
+                f"fault plan: tag={self.tag} is negative — the substrate "
+                f"rejects negative tags at send time, so this rule could "
+                f"never match a message")
         if not 0.0 <= self.probability <= 1.0:
             raise MpiError(
                 f"fault probability must be in [0, 1] "
                 f"(got {self.probability})")
+        if self.count is not None and self.count < 1:
+            raise MpiError(
+                f"fault plan: count={self.count} would never fire "
+                f"(use count >= 1, or drop the rule)")
+        if self.step is not None and self.step < 1:
+            raise MpiError(
+                f"fault plan: step={self.step} is invalid (steps are "
+                f"1-based occurrence indices)")
+        if self.t_min < 0.0:
+            raise MpiError(
+                f"fault plan: after={self.t_min:g} is negative "
+                f"(virtual time starts at 0)")
+        if self.t_max <= self.t_min:
+            raise MpiError(
+                f"fault plan: empty time window "
+                f"[after={self.t_min:g}, before={self.t_max:g}) — "
+                f"the rule could never fire")
+        if self.delay < 0.0:
+            raise MpiError(
+                f"fault plan: by={self.delay:g} is negative (a delay "
+                f"cannot move a message back in time)")
         if self.kind == "delay" and self.delay <= 0.0:
             raise MpiError("delay faults need by=<seconds> > 0")
 
@@ -168,15 +254,15 @@ class FaultRule:
     def matches_message(self, src: int, dest: int, tag: int,
                         now: float) -> bool:
         return (self.kind in MESSAGE_KINDS
-                and (self.rank is None or self.rank == src)
-                and (self.dest is None or self.dest == dest)
+                and _scope_matches(self.rank, src)
+                and _scope_matches(self.dest, dest)
                 and (self.tag is None or self.tag == tag)
                 and (self.op is None or self.op == "send")
                 and self._window(now))
 
     def matches_op(self, rank: int, op: str, now: float) -> bool:
         return (self.kind == "crash"
-                and self.rank == rank
+                and _scope_matches(self.rank, rank)
                 and (self.op is None or self.op == op)
                 and self._window(now))
 
@@ -187,6 +273,8 @@ class FaultRule:
                 ("tag", self.tag, None), ("op", self.op, None),
                 ("step", self.step, None), ("count", self.count, None)):
             if value != default:
+                if key in ("rank", "dst"):
+                    value = _scope_str(value)
                 parts.append(f"{key}={value}")
         if self.kind == "delay":
             parts.append(f"by={self.delay:g}")
@@ -221,6 +309,37 @@ class FaultPlan:
         object.__setattr__(self, "virtual_timeout", virtual_timeout)
         if virtual_timeout is not None and virtual_timeout <= 0:
             raise MpiError("timeout must be positive (virtual seconds)")
+        self._validate_rules()
+
+    def _validate_rules(self) -> None:
+        """Eager cross-rule checks: duplicate rules and double-kill
+        crash overlaps fail at load time with the offending directives
+        spelled out, never as a mid-run surprise."""
+        seen: dict[FaultRule, int] = {}
+        for i, rule in enumerate(self.rules):
+            j = seen.get(rule)
+            if j is not None:
+                raise MpiError(
+                    f"fault plan: rule {i + 1} ({rule.describe()!r}) "
+                    f"duplicates rule {j + 1} — each would fire on the "
+                    f"same occurrences; use count= to fire more than "
+                    f"once")
+            seen[rule] = i
+        crashes = [(i, r) for i, r in enumerate(self.rules)
+                   if r.kind == "crash"]
+        for n, (i, a) in enumerate(crashes):
+            for j, b in crashes[n + 1:]:
+                if (_scopes_overlap(a.rank, b.rank)
+                        and (a.op is None or b.op is None or a.op == b.op)
+                        and a.step == b.step):
+                    raise MpiError(
+                        f"fault plan: crash rules {i + 1} "
+                        f"({a.describe()!r}) and {j + 1} "
+                        f"({b.describe()!r}) overlap on rank scope "
+                        f"{_scope_str(a.rank)} vs {_scope_str(b.rank)} "
+                        f"— the second can never fire (the rank is "
+                        f"already dead); narrow the rank= ranges or "
+                        f"give the rules distinct step= positions")
 
     @property
     def has_faults(self) -> bool:
@@ -286,9 +405,9 @@ class FaultPlan:
                 if value in ("*", "any"):
                     continue
                 if key in ("rank", "src", "source"):
-                    fields["rank"] = _parse_int(value, key)
+                    fields["rank"] = _parse_scope(value, key)
                 elif key in ("dst", "dest"):
-                    fields["dest"] = _parse_int(value, key)
+                    fields["dest"] = _parse_scope(value, key)
                 elif key == "tag":
                     fields["tag"] = _parse_int(value, key)
                 elif key == "op":
@@ -318,6 +437,16 @@ def _parse_int(value: str, what: str) -> int:
     except ValueError:
         raise MpiError(f"fault plan: {what} needs an integer "
                        f"(got {value!r})") from None
+
+
+def _parse_scope(value: str, what: str):
+    """A rank scope: a single integer, or an inclusive ``lo-hi`` range
+    (``rank=0-3`` matches ranks 0, 1, 2, and 3)."""
+    body = value[1:] if value.startswith("-") else value
+    if "-" in body:
+        lo, _, hi = value.partition("-")
+        return (_parse_int(lo, what), _parse_int(hi, what))
+    return _parse_int(value, what)
 
 
 def _parse_float(value: str, what: str) -> float:
@@ -363,13 +492,20 @@ def _read_plan_file(path: str) -> str:
 
 @dataclass
 class MessageFate:
-    """What the chaotic network does to one posted message."""
+    """What the chaotic network does to one posted message.
+
+    ``corrupted`` marks a payload a corrupt rule actually mangled —
+    the recovery layer's retry loop treats it as a failed attempt (the
+    receiver's checksum NACK triggers a re-send), while without
+    recovery it travels on and fails the receive-side integrity
+    check."""
 
     payload: Any
     deliver: bool = True
     copies: int = 1
     extra_delay: float = 0.0
     checksum: Optional[int] = None
+    corrupted: bool = False
 
 
 class FaultState:
@@ -468,6 +604,7 @@ class FaultState:
                                             self._seen[src][idx]))
                 if ok:
                     fate.payload = corrupted
+                    fate.corrupted = True
                     self._log(src, f"corrupt {where}", now)
                 else:
                     self._log(src, f"corrupt {where} skipped "

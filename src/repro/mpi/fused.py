@@ -123,17 +123,19 @@ class FusedComm:
     is_fused = True
 
     def __init__(self, nprocs: int, machine: MachineModel,
-                 fault_plan=None, trace=None):
+                 fault_plan=None, trace=None, recovery=None):
         if fault_plan is not None and fault_plan.has_faults:
             # fault schedules are per-rank by construction; a single
-            # fused pass cannot honor them — fall back to lockstep
+            # fused pass cannot honor them — checkpoint state (if any)
+            # and fall back to lockstep, which heals under the same
+            # recovery policy
             raise FusionDivergence(
                 "fault injection is rank-dependent; chaos runs fall "
                 "back to lockstep")
         # World doubles as the stats/clocks container so SpmdResult and
         # compiler instrumentation read the same fields on every backend
         self.world = World(nprocs, machine, fault_plan=fault_plan,
-                           trace=trace)
+                           trace=trace, recovery=recovery)
         self.size = nprocs
         self.machine = machine
         self.line = 0
@@ -225,12 +227,24 @@ class FusedComm:
         ``World._run_combine`` + the per-rank ``max`` does), and the
         collective tallies advance."""
         w = self.world
+        if w.aborted is not None:
+            # the single fused pass has no blocked ranks to unwind, so
+            # the watchdog's abort is observed here, at the next
+            # collective boundary
+            raise w.aborted
         pre = w.clocks.copy()
         tnew = float(pre.max()) + cost
         w.clocks[:] = tnew
         w.collectives += 1
         w.rank_collectives += 1
         w._count(op)
+        recovery = w.recovery
+        if (recovery is not None and recovery.policy.checkpoint_every
+                and w.collectives
+                % recovery.policy.checkpoint_every == 0):
+            # the fused backend's single fused state snapshots at the
+            # same cadence and boundaries as the per-rank backends
+            recovery.store.take(w, tnew, recovery.attempt)
         if self._trace is not None:
             self._trace.batch_collective(op, self.line, pre, tnew, nbytes)
 
@@ -279,6 +293,8 @@ class FusedComm:
         buffered-send injection at its pre-op clock, posts the arrival,
         then waits for its own incoming boundary."""
         w = self.world
+        if w.aborted is not None:
+            raise w.aborted
         p = self.size
         if p == 1:
             return  # self-exchange: no wire traffic

@@ -78,6 +78,19 @@ class RuntimeContext:
         # per-rank local-memory high-water mark (paper Section 7 claim)
         self.memory = MemoryTracker()
         install_tracker(self.memory)
+        recovery = getattr(getattr(comm, "world", None), "recovery", None)
+        if recovery is not None:
+            recovery.store.register_payload(self.rank,
+                                            self._checkpoint_payload)
+
+    def _checkpoint_payload(self) -> dict:
+        """Per-rank state the world's accounting cannot see, captured
+        into each :class:`~repro.mpi.recovery.Checkpoint`.  Restart is
+        replay-based (frame locals are unreachable), so this exists for
+        the record — on-disk checkpoints stay inspectable."""
+        return {"seed": self._seed,
+                "rng": self.rng.bit_generator.state,
+                "peak_local_bytes": self.memory.peak}
 
     def close(self) -> None:
         """Uninstall this context's thread-local memory tracker.

@@ -45,7 +45,7 @@ class TraceEvent:
         self.rank = rank
         self.seq = seq
         self.name = name      # e.g. "mpi.send", "allreduce", "compute"
-        self.cat = cat        # "mpi" | "compute" | "io" | "fault" | "rt"
+        self.cat = cat        # "mpi"|"compute"|"io"|"fault"|"recovery"|"rt"
         self.line = line      # originating MATLAB source line (0: none)
         self.t0 = t0          # virtual start time (seconds)
         self.dur = dur        # virtual duration (seconds)
@@ -145,6 +145,13 @@ class RankRecorder:
         """An injected chaos event (same stream as everything else, so
         chaos tests assert on events instead of scraping stderr)."""
         self.event("fault", "fault", 0, t0, 0.0, what=text)
+
+    def recovery(self, name: str, t0: float, **args: Any) -> None:
+        """A self-healing event — ``retry`` / ``rollback`` /
+        ``restart`` / ``degrade`` (see docs/OBSERVABILITY.md for the
+        per-name args schema).  Zero-fault runs record none, so golden
+        traces are untouched."""
+        self.event(name, "recovery", 0, t0, 0.0, **args)
 
     def io(self, line: int, t0: float, nbytes: int) -> None:
         """Coordinated output written by rank 0."""
@@ -260,6 +267,12 @@ class WorldTrace:
 
     def fault_events(self) -> list[TraceEvent]:
         return [e for e in self.events() if e.cat == "fault"]
+
+    def recovery_events(self) -> list[TraceEvent]:
+        """Self-healing events (retry/rollback/restart/degrade) in
+        canonical order — empty unless a non-abort on_fault policy
+        actually healed something."""
+        return [e for e in self.events() if e.cat == "recovery"]
 
     def line_profile(self) -> dict[int, Any]:
         """The merged per-source-line communication profile (see

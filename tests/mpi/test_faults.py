@@ -610,3 +610,68 @@ class TestDecisionDeterminism:
         assert fates == [False, False, True, True, True]
         # rank 1 gets its own budget
         assert state.on_message(1, 0, 0, 8, 0.0, 1.0).deliver is False
+
+
+# ------------------------------------------------------------------------- #
+# eager plan validation (load-time rejection, never a mid-run surprise)
+# ------------------------------------------------------------------------- #
+
+
+class TestEagerPlanValidation:
+    def test_rank_ranges_parse_and_scope(self):
+        plan = FaultPlan.parse("drop rank=1-3 dst=0-1 tag=2")
+        rule = plan.rules[0]
+        assert rule.rank == (1, 3) and rule.dest == (0, 1)
+        assert rule.matches_message(2, 0, 2, 0.0)
+        assert rule.matches_message(3, 1, 2, 0.0)
+        assert not rule.matches_message(0, 0, 2, 0.0)   # sender outside
+        assert not rule.matches_message(2, 2, 2, 0.0)   # dest outside
+        assert "rank=1-3" in rule.describe()
+
+    def test_crash_rank_range_matches_ops(self):
+        plan = FaultPlan.parse("crash rank=1-2 op=allreduce")
+        assert plan.rules[0].matches_op(1, "allreduce", 0.0)
+        assert plan.rules[0].matches_op(2, "allreduce", 0.0)
+        assert not plan.rules[0].matches_op(3, "allreduce", 0.0)
+
+    @pytest.mark.parametrize("bad,match", [
+        ("drop rank=3-1", "inverted"),
+        ("drop rank=-2", "negative"),
+        ("drop dst=2--5", "negative rank"),
+        ("drop tag=-1", "never match"),
+        ("drop count=0", "never fire"),
+        ("crash rank=0 op=allreduce step=0", "1-based"),
+        ("delay by=0.1 rank=0 after=-1", "negative"),
+        ("drop after=2 before=1", "empty time window"),
+        ("drop after=1 before=1", "empty time window"),
+    ])
+    def test_malformed_rules_fail_at_load_time(self, bad, match):
+        with pytest.raises(MpiError, match=match):
+            FaultPlan.parse(bad)
+
+    def test_negative_delay_is_rejected(self):
+        with pytest.raises(MpiError, match="back in time"):
+            FaultPlan.parse("delay by=-0.5 rank=0")
+
+    def test_exact_duplicate_rules_are_rejected(self):
+        with pytest.raises(MpiError, match="duplicates rule 1.*count="):
+            FaultPlan.parse("drop rank=0 tag=1\ndrop rank=0 tag=1")
+
+    def test_distinct_rules_are_not_duplicates(self):
+        plan = FaultPlan.parse("drop rank=0 tag=1\ndrop rank=0 tag=2")
+        assert len(plan.rules) == 2
+
+    def test_overlapping_crash_rules_are_rejected(self):
+        with pytest.raises(MpiError, match="already dead"):
+            FaultPlan.parse("crash rank=0-2 op=allreduce\n"
+                            "crash rank=1 op=allreduce")
+
+    def test_crash_rules_with_distinct_steps_coexist(self):
+        plan = FaultPlan.parse("crash rank=0 op=allreduce step=1\n"
+                               "crash rank=0 op=allreduce step=3")
+        assert len(plan.rules) == 2
+
+    def test_crash_rules_on_disjoint_ranks_coexist(self):
+        plan = FaultPlan.parse("crash rank=0-1 op=send\n"
+                               "crash rank=2-3 op=send")
+        assert len(plan.rules) == 2
