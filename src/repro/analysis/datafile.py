@@ -16,7 +16,6 @@ from ..frontend import ast_nodes as A
 from ..frontend.mfile import MFileProvider
 from .lattice import (
     BaseType,
-    Rank,
     Shape,
     UNKNOWN_SHAPE,
     VarType,
@@ -51,9 +50,25 @@ def infer_load_type(call: A.Apply, arg_consts: list[object],
             "load requires a literal file name so the compiler can find "
             "a sample data file", call.loc)
     name = arg_consts[0]
-    sample = provider.load_data_file(name)
+    sample = _load_sample(name, provider)
     if sample is None:
         raise InferenceError(
             f"no sample data file for load({name!r}); the compiler needs "
             "one to determine the variable's type and rank", call.loc)
     return classify_array(np.asarray(sample))
+
+
+def _load_sample(name: str, provider: MFileProvider):
+    """Resolve a load target: URL-schema datastores (``mem://``,
+    ``file://``, ``s3://`` — the hosted data is its own sample) first,
+    then the provider's sample files."""
+    from ..service.stores import StoreError, is_store_url
+
+    if is_store_url(name):
+        from ..service.stores import default_manager
+
+        try:
+            return default_manager().load_matrix(name)
+        except StoreError:
+            return None
+    return provider.load_data_file(name)

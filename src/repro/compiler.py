@@ -21,7 +21,6 @@ Typical use::
 
 from __future__ import annotations
 
-import hashlib
 import time
 import types as _types
 from dataclasses import dataclass, field
@@ -80,9 +79,11 @@ class CompiledProgram:
     """A fully compiled MATLAB program."""
 
     name: str
-    resolved: ResolvedProgram
-    types: ProgramTypes
-    ir: IRProgram
+    #: pass-1..6 artifacts; ``None`` on a program rehydrated from the
+    #: on-disk compile cache (recompiled lazily by :meth:`_ensure_front_end`)
+    resolved: Optional[ResolvedProgram]
+    types: Optional[ProgramTypes]
+    ir: Optional[IRProgram]
     python_source: str
     peephole_stats: PeepholeStats
     licm_stats: LicmStats
@@ -99,13 +100,47 @@ class CompiledProgram:
     # ------------------------------------------------------------------ #
 
     @property
+    def from_cache(self) -> bool:
+        """True for a program rehydrated from the on-disk compile cache:
+        it runs straight from the cached emitted Python; the front-end
+        artifacts (AST, types, IR) are recompiled lazily on demand."""
+        return self.ir is None
+
+    def _ensure_front_end(self) -> None:
+        """Recompile the pass-1..6 artifacts for a rehydrated program.
+
+        A disk-cache hit carries only what execution needs (the emitted
+        Python, stats, plan, source); ``c_source``/``ir_dump`` are the
+        rare consumers of the IR, and they pay the passes on demand —
+        execution never does.
+        """
+        if self.ir is not None:
+            return
+        fresh = compile_source(self.source, self.provider, name=self.name,
+                               plan=self.plan)
+        self.resolved = fresh.resolved
+        self.types = fresh.types
+        self.ir = fresh.ir
+
+    @property
     def c_source(self) -> str:
         """SPMD C with run-time library calls (textual backend)."""
         from .codegen.c_emitter import emit_c
 
+        self._ensure_front_end()
         return emit_c(self.ir)
 
+    @property
+    def matlab_source(self) -> str:
+        """Normalized echo of the parsed script (the ``--emit matlab``
+        output: pass-2 AST unparsed back to canonical MATLAB)."""
+        from .frontend.unparse import unparse_script
+
+        self._ensure_front_end()
+        return unparse_script(self.resolved.script.node)
+
     def ir_dump(self) -> str:
+        self._ensure_front_end()
         return pretty_ir(self.ir)
 
     # ------------------------------------------------------------------ #
@@ -131,7 +166,8 @@ class CompiledProgram:
             plan=None,
             tune: bool | None = None,
             tune_budget: int | None = None,
-            native: str | None = None) -> RunResult:
+            native: str | None = None,
+            stores=None) -> RunResult:
         """Execute on ``nprocs`` simulated ranks of ``machine``.
 
         ``backend`` picks the SPMD execution backend (``"lockstep"``,
@@ -163,6 +199,11 @@ class CompiledProgram:
         ``"require"``); ``None`` defers to the plan's ``native`` axis,
         then ``$REPRO_NATIVE``, then ``auto`` — see docs/NATIVE.md.
         Kernel activity lands on ``RunResult.native``.
+
+        ``stores`` is a :class:`repro.service.StoreManager` for
+        URL-schema ``load``/``save`` targets (``file://``, ``mem://``,
+        ``s3://``); ``None`` uses the process-wide default manager —
+        see docs/SERVICE.md.
         """
         from .mpi.executor import resolve_tune
         from .mpi.machine import MEIKO_CS2
@@ -181,7 +222,7 @@ class CompiledProgram:
                 trace=trace, on_fault=on_fault, max_restarts=max_restarts,
                 checkpoint_every=checkpoint_every,
                 plan=tuned.best.plan, tune=False,
-                native=native)
+                native=native, stores=stores)
             result.tune = tuned
             return result
 
@@ -217,7 +258,8 @@ class CompiledProgram:
             rt = RuntimeContext(comm, out=output.append, seed=seed,
                                 scheme=scheme, provider=provider,
                                 cache_gathers=cache_gathers,
-                                dist_plan=dist_plan, native=engine)
+                                dist_plan=dist_plan, native=engine,
+                                stores=stores)
             try:
                 workspace = main(rt)
                 peaks[rt.rank] = rt.peak_local_bytes
@@ -348,15 +390,13 @@ def compile_source(source: str, provider: MFileProvider | None = None,
 
 
 # -------------------------------------------------------------------------- #
-# in-process compile memo (the first step toward the ROADMAP
-# compile-cache service): keyed by source hash + provider + the plan's
-# compile-affecting projection, so the autotuner's candidate sweep pays
-# the seven passes once per *distinct lowering*, not once per candidate.
+# the compile memo: a thin projection over the service's content-
+# addressed CompileCache.  Keyed by canonical source + provider + the
+# plan's *compile-affecting* projection, so the autotuner's candidate
+# sweep pays the seven passes once per distinct lowering, not once per
+# candidate.  Deliberately memory-tier-only: the on-disk tier belongs to
+# full request keys (see repro.service.cache and docs/SERVICE.md).
 # -------------------------------------------------------------------------- #
-
-_COMPILE_MEMO: dict[tuple, CompiledProgram] = {}
-_COMPILE_MEMO_STATS = {"hits": 0, "misses": 0}
-_COMPILE_MEMO_MAX = 256
 
 
 def compile_cached(source: str, provider: MFileProvider | None = None,
@@ -369,28 +409,21 @@ def compile_cached(source: str, provider: MFileProvider | None = None,
     (distribution, collective algorithms) deliberately do NOT key the
     memo — pass the full plan to :meth:`CompiledProgram.run` instead.
     """
-    src_hash = hashlib.sha256(source.encode("utf-8")).hexdigest()
-    provider_key = None if provider in (None, EMPTY_PROVIDER) \
-        else id(provider)
-    plan_key = None if plan is None else plan.compile_key()
-    key = (src_hash, provider_key, plan_key, name)
-    hit = _COMPILE_MEMO.get(key)
-    if hit is not None:
-        _COMPILE_MEMO_STATS["hits"] += 1
-        return hit
-    _COMPILE_MEMO_STATS["misses"] += 1
-    program = compile_source(source, provider, name=name, plan=plan)
-    if len(_COMPILE_MEMO) >= _COMPILE_MEMO_MAX:
-        _COMPILE_MEMO.pop(next(iter(_COMPILE_MEMO)))
-    _COMPILE_MEMO[key] = program
-    return program
+    from .service.cache import get_compile_cache
+
+    key_plan = ("default",) if plan is None else plan.compile_key()
+    return get_compile_cache().get_or_compile(
+        source, provider=provider, name=name, plan=plan,
+        key_plan=key_plan, disk=False).program
 
 
 def compile_cache_stats() -> dict:
-    return dict(_COMPILE_MEMO_STATS, size=len(_COMPILE_MEMO),
-                maxsize=_COMPILE_MEMO_MAX)
+    from .service.cache import get_compile_cache
+
+    return get_compile_cache().stats()
 
 
 def clear_compile_cache() -> None:
-    _COMPILE_MEMO.clear()
-    _COMPILE_MEMO_STATS.update(hits=0, misses=0)
+    from .service.cache import get_compile_cache
+
+    get_compile_cache().clear()

@@ -18,7 +18,6 @@ from .values import (
     np_trapz,
     Value,
     as_matrix,
-    colon_range,
     format_value,
     is_scalar,
     numel,
@@ -616,10 +615,20 @@ def _error(ctx, args, nargout):
 
 @_register("load")
 def _load(ctx, args, nargout):
+    from ..service.stores import StoreError, is_store_url
+
     name = args[0]
     if not isinstance(name, str):
         raise MatlabRuntimeError("load: file name must be a string")
-    data = ctx.provider.load_data_file(name)
+    if is_store_url(name):
+        from ..service.stores import default_manager
+
+        try:
+            data = default_manager().load_matrix(name)
+        except StoreError as exc:
+            raise MatlabRuntimeError(f"load: {exc}") from exc
+    else:
+        data = ctx.provider.load_data_file(name)
     if data is None:
         raise MatlabRuntimeError(f"load: cannot find data file {name!r}")
     arr = as_matrix(np.asarray(data, dtype=float)

@@ -8,6 +8,9 @@ workspace directives:
 * ``whos``  — list variables with size/type
 * ``clear`` / ``clear x y`` — drop variables
 * ``profile on`` / ``profile report`` — the line profiler
+* ``run <file.m> [nprocs]`` — compile the file through the process-wide
+  compile cache (docs/SERVICE.md) and execute it on the simulated
+  parallel machine; repeat runs are warm cache hits
 * ``quit`` / ``exit``
 
 The REPL feeds each input through the real pipeline (parse → resolve with
@@ -27,10 +30,9 @@ from .analysis.resolve import resolve_program
 from .errors import OtterError
 from .frontend.mfile import EMPTY_PROVIDER, MFileProvider
 from .frontend.parser import parse_script
-from .interp.costmodel import CostMeter, NULL_METER
+from .interp.costmodel import CostMeter
 from .interp.interpreter import Interpreter
 from .interp.profiler import LineProfiler
-from .interp.values import shape_of
 from .mpi.machine import MEIKO_CS2
 
 _OPENERS = ("if", "for", "while", "switch", "function")
@@ -155,11 +157,50 @@ class Repl:
                 else:
                     self._out(self.profiler.report() + "\n")
             return True
+        if head == "run" and len(parts) > 1:
+            self._run_file(parts[1:])
+            return True
         if head == "help":
             self._out("directives: whos, clear [names], profile on|off|"
-                      "report, quit\n")
+                      "report, run <file.m> [nprocs], quit\n")
             return True
         return False
+
+    def _run_file(self, argv: list[str]) -> None:
+        """``run <file.m> [nprocs]``: compile through the shared compile
+        cache and execute on the simulated parallel machine.  The REPL
+        workspace is untouched — the script runs in its own context."""
+        import os
+
+        from .service.cache import get_compile_cache
+
+        machine = MEIKO_CS2
+        path = argv[0]
+        try:
+            nprocs = int(argv[1]) if len(argv) > 1 else 1
+        except ValueError:
+            self._out(f"run: nprocs must be an integer (got {argv[1]!r})\n")
+            return
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            self._out(f"run: {exc}\n")
+            return
+        name = os.path.splitext(os.path.basename(path))[0]
+        try:
+            outcome = get_compile_cache().get_or_compile(
+                source, name=name, provider=self.provider,
+                nprocs=nprocs, machine=machine)
+            result = outcome.program.run(nprocs=nprocs, machine=machine,
+                                         seed=self.seed)
+        except OtterError as exc:
+            self._out(f"??? {exc}\n")
+            return
+        self._out(result.output)
+        self._out(f"[run] {nprocs} rank(s) of {machine.name}: "
+                  f"{result.elapsed * 1e3:.3f} ms modeled; "
+                  f"cache {outcome.describe()}\n")
 
     def _whos(self) -> str:
         if not self.workspace:

@@ -39,7 +39,8 @@ class RuntimeContext:
 
     def __init__(self, comm: Comm, out: Optional[Callable[[str], None]] = None,
                  seed: int = 0, scheme: str = "block", provider=None,
-                 cache_gathers: bool = False, dist_plan=None, native=None):
+                 cache_gathers: bool = False, dist_plan=None, native=None,
+                 stores=None):
         self.comm = comm
         #: native kernel engine (repro.native.NativeEngine) or None —
         #: when set, ``ew`` calls that carry an op-tree spec execute as
@@ -65,6 +66,10 @@ class RuntimeContext:
         #: re-gathers, and the figure calibration assumes that; the
         #: ablation benchmark measures the difference.
         self.cache_gathers = cache_gathers
+        #: URL-schema datastore registry for load/save targets like
+        #: ``mem://...`` (None: the process-wide default manager,
+        #: resolved lazily — see repro.service.stores)
+        self.stores = stores
         self._out = out or (lambda text: None)
         self.rng = np.random.default_rng(seed)
         self._seed = seed
@@ -78,10 +83,20 @@ class RuntimeContext:
         # per-rank local-memory high-water mark (paper Section 7 claim)
         self.memory = MemoryTracker()
         install_tracker(self.memory)
-        recovery = getattr(getattr(comm, "world", None), "recovery", None)
-        if recovery is not None:
-            recovery.store.register_payload(self.rank,
-                                            self._checkpoint_payload)
+        try:
+            recovery = getattr(getattr(comm, "world", None), "recovery",
+                               None)
+            if recovery is not None:
+                recovery.store.register_payload(self.rank,
+                                                self._checkpoint_payload)
+        except BaseException:
+            # construction failed *after* the tracker went live; the
+            # caller never received a context to close(), so release the
+            # thread-local tracker here or it would keep charging every
+            # later allocation on this thread (the PR 4 leak, one layer
+            # earlier)
+            self.close()
+            raise
 
     def _checkpoint_payload(self) -> dict:
         """Per-rank state the world's accounting cannot see, captured
@@ -743,18 +758,37 @@ class RuntimeContext:
             msg = sprintf_cycle(msg, values)
         raise MatlabRuntimeError(msg)
 
+    def _store_manager(self):
+        """The URL datastore registry for this run (docs/SERVICE.md)."""
+        if self.stores is None:
+            from ..service.stores import default_manager
+
+            self.stores = default_manager()
+        return self.stores
+
     def load(self, name: RValue) -> RValue:
         if not isinstance(name, str):
             raise MatlabRuntimeError("load: file name must be a string")
-        if self.provider is None:
-            raise MatlabRuntimeError("load: no data provider configured")
-        data = self.provider.load_data_file(name)
-        if data is None:
-            raise MatlabRuntimeError(f"load: cannot find data file {name!r}")
+        from ..service.stores import StoreError, is_store_url
+
+        if is_store_url(name):
+            try:
+                data = self._store_manager().load_matrix(name)
+            except StoreError as exc:
+                raise MatlabRuntimeError(f"load: {exc}") from exc
+        else:
+            if self.provider is None:
+                raise MatlabRuntimeError("load: no data provider configured")
+            data = self.provider.load_data_file(name)
+            if data is None:
+                raise MatlabRuntimeError(
+                    f"load: cannot find data file {name!r}")
         full = V.as_matrix(np.asarray(data, dtype=complex)
                            if np.iscomplexobj(np.asarray(data))
                            else np.asarray(data, dtype=float))
-        # rank 0 reads the file and scatters row blocks
+        # rank 0 reads the file and scatters row blocks; a store URL
+        # charges exactly what the local-file path does, so the same
+        # script traces bit-identically against hosted or sample data
         self.comm.overhead()
         self.comm.advance(self.comm.machine.collective_time(
             "scatter", full.nbytes // max(self.size, 1), self.size))
@@ -764,11 +798,36 @@ class RuntimeContext:
         if not isinstance(name, str):
             raise MatlabRuntimeError("save: file name must be a string")
         if self.rank == 0:
-            self.saved[name] = [self.to_interp_value(a) for a in args]
+            values = [self.to_interp_value(a) for a in args]
+            from ..service.stores import StoreError, is_store_url
+
+            if is_store_url(name):
+                try:
+                    self._store_manager().put_text(
+                        name, self._render_saved(values))
+                except StoreError as exc:
+                    raise MatlabRuntimeError(f"save: {exc}") from exc
+            self.saved[name] = values
         else:
             for a in args:
                 if isinstance(a, DMatrix):
                     self.to_interp_value(a)  # participate in the gather
+
+    @staticmethod
+    def _render_saved(values: list) -> str:
+        """Whitespace-text rendering of saved values (numpy.loadtxt
+        compatible, so a single saved matrix round-trips through
+        ``load``)."""
+        import io as _io
+
+        buf = _io.StringIO()
+        for rep in values:
+            arr = np.asarray(V.as_matrix(rep))
+            if np.iscomplexobj(arr):
+                raise MatlabRuntimeError(
+                    "save: complex values cannot be saved to a store URL")
+            np.savetxt(buf, np.atleast_2d(arr), fmt="%.17g")
+        return buf.getvalue()
 
     def tic(self) -> None:
         if self.fused:

@@ -1,0 +1,92 @@
+"""Client for the compile/run service.
+
+One :class:`ServiceClient` is one session.  Convenience methods wrap
+the wire ops and raise :class:`ServiceError` on structured failures, so
+callers get Python exceptions with the server-side error type attached
+instead of fishing through response dicts::
+
+    client = ServiceClient.connect("127.0.0.1", 7477)
+    reply = client.run("disp(sum(ones(4,4)));", nprocs=4)
+    print(reply["output"], reply["cached"])
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Optional
+
+from ..errors import OtterError
+from .transport import SocketTransport, Transport, TransportClosed
+
+
+class ServiceError(OtterError):
+    """A structured error response from the service."""
+
+    def __init__(self, message: str, kind: str = "OtterError",
+                 response: Optional[dict] = None):
+        super().__init__(message)
+        self.kind = kind
+        self.response = response or {}
+
+
+class ServiceClient:
+    """One session against a :class:`~repro.service.server.ServiceServer`."""
+
+    def __init__(self, transport: Transport):
+        self._transport = transport
+
+    @classmethod
+    def connect(cls, host: str, port: int,
+                timeout: Optional[float] = None) -> "ServiceClient":
+        sock = socket.create_connection((host, port), timeout=timeout)
+        return cls(SocketTransport(sock))
+
+    # ------------------------------------------------------------------ #
+
+    def request(self, op: str, **fields: Any) -> dict:
+        """Send one op and return the raw response dict (no raising on
+        ``ok: false`` — callers who want exceptions use the wrappers)."""
+        message = {"op": op}
+        message.update({k: v for k, v in fields.items() if v is not None})
+        self._transport.send(message)
+        response = self._transport.recv()
+        if response is None:
+            raise TransportClosed(f"server closed the session during {op!r}")
+        return response
+
+    def _checked(self, op: str, **fields: Any) -> dict:
+        response = self.request(op, **fields)
+        if not response.get("ok"):
+            raise ServiceError(response.get("message", "service error"),
+                               kind=response.get("error", "OtterError"),
+                               response=response)
+        return response
+
+    # ------------------------------------------------------------------ #
+
+    def ping(self) -> dict:
+        return self._checked("ping")
+
+    def compile(self, source: str, **cfg: Any) -> dict:
+        return self._checked("compile", source=source, **cfg)
+
+    def run(self, source: str, **cfg: Any) -> dict:
+        return self._checked("run", source=source, **cfg)
+
+    def trace(self, source: str, **cfg: Any) -> dict:
+        return self._checked("trace", source=source, **cfg)
+
+    def stats(self) -> dict:
+        return self._checked("stats")
+
+    def shutdown(self) -> dict:
+        return self._checked("shutdown")
+
+    def close(self) -> None:
+        self._transport.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

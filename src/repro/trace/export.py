@@ -97,7 +97,7 @@ def write_chrome_trace(trace: WorldTrace, path: str,
 
 
 def pass_report(pass_timings: list[tuple[str, float]],
-                tune=None, native=None) -> str:
+                tune=None, native=None, cache=None) -> str:
     """Compiler-pass timing table (host seconds; advisory).
 
     ``tune`` is an optional :class:`repro.tuning.TuneResult`; when given,
@@ -108,10 +108,18 @@ def pass_report(pass_timings: list[tuple[str, float]],
     kernel tier's counter deltas for the run): kernel compiles and
     cache hits are host-side compiler activity, so they belong in this
     report — never in the canonical trace stream, which the golden
-    suite pins byte-identical with the tier on or off."""
+    suite pins byte-identical with the tier on or off.
+
+    ``cache`` is an optional compile-cache outcome description (see
+    :meth:`repro.service.cache.CacheOutcome.describe`); on a warm hit
+    the pass table below it is empty — the zero-recompile criterion of
+    docs/SERVICE.md, made visible."""
     total = sum(seconds for _name, seconds in pass_timings) or 1e-30
-    out = [f"{'pass':<12s} {'time(ms)':>10s} {'%':>6s}",
-           "-" * 31]
+    out = []
+    if cache is not None:
+        out.append(f"[cache] {cache}")
+    out += [f"{'pass':<12s} {'time(ms)':>10s} {'%':>6s}",
+            "-" * 31]
     for name, seconds in pass_timings:
         out.append(f"{name:<12s} {seconds * 1e3:10.3f} "
                    f"{100.0 * seconds / total:5.1f}%")

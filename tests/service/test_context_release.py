@@ -1,0 +1,90 @@
+"""Regression: the thread-local memory tracker must be released on
+every failure path — a constructor that dies after installing it, and a
+failing inline (nprocs==1 / fused) run.
+
+The leak mode: ``RuntimeContext.__init__`` installs the tracker, then
+registers its checkpoint payload with the world's recovery store; if
+that registration raises, the caller never receives a context to
+``close()``, so the tracker silently keeps charging every allocation on
+the thread for the rest of the process.
+"""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.errors import OtterError
+from repro.mpi.machine import MEIKO_CS2
+from repro.runtime.context import RuntimeContext
+from repro.runtime.memory import current_tracker
+
+
+class _ExplodingStore:
+    def register_payload(self, rank, payload):
+        raise RuntimeError("recovery store rejected the registration")
+
+
+class _Recovery:
+    store = _ExplodingStore()
+
+
+class _World:
+    recovery = _Recovery()
+
+
+class _Comm:
+    """Just enough comm surface for the constructor to run."""
+
+    rank = 0
+    size = 1
+    is_fused = False
+    world = _World()
+
+
+def test_constructor_failure_releases_the_tracker():
+    assert current_tracker() is None
+    with pytest.raises(RuntimeError):
+        RuntimeContext(_Comm())
+    assert current_tracker() is None
+
+
+def test_successful_construction_keeps_tracker_until_close():
+    class _QuietWorld:
+        recovery = None
+
+    class _QuietComm(_Comm):
+        world = _QuietWorld()
+
+    rt = RuntimeContext(_QuietComm())
+    assert current_tracker() is rt.memory
+    rt.close()
+    assert current_tracker() is None
+
+
+@pytest.mark.parametrize("backend", ["lockstep", "fused"])
+def test_failing_inline_run_releases_the_tracker(backend):
+    """nprocs==1 and fused runs execute on the caller's thread — a
+    raising program must still tear the tracker down."""
+    program = compile_source("x = ones(2, 2);\nerror('boom');\n")
+    assert current_tracker() is None
+    # lockstep surfaces the crash as MpiError, fused as the MATLAB
+    # error itself — both are OtterError, and both paths must clean up
+    with pytest.raises(OtterError):
+        program.run(nprocs=1, machine=MEIKO_CS2, backend=backend)
+    assert current_tracker() is None
+
+
+def test_close_is_idempotent_and_scoped():
+    class _QuietWorld:
+        recovery = None
+
+    class _QuietComm(_Comm):
+        world = _QuietWorld()
+
+    first = RuntimeContext(_QuietComm())
+    second = RuntimeContext(_QuietComm())
+    # `second` owns the slot now; closing `first` must not clobber it
+    first.close()
+    assert current_tracker() is second.memory
+    second.close()
+    second.close()
+    assert current_tracker() is None
